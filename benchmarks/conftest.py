@@ -1,0 +1,19 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one table or figure of the paper and prints a
+paper-vs-measured comparison.  Experiments are deterministic and heavy, so
+each runs exactly once (``pedantic`` with one round).
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment exactly once under the benchmark timer."""
+
+    def runner(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return runner

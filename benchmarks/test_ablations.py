@@ -1,0 +1,95 @@
+"""Ablations of CoLES design choices called out in DESIGN.md §6.
+
+Not a paper table — these probe the three implementation decisions the
+paper fixes without ablating:
+
+- the unit-norm embedding head (Section 3.3 restricts M to unit vectors);
+- the learnt initial GRU state c_0 (Section 3.4);
+- the derived time-delta input feature.
+
+Each variant trains the same CoLES pipeline on the age world and reports
+the CV metric of its embeddings.
+"""
+
+import numpy as np
+
+from repro.augmentations import RandomSlices
+from repro.core import ContrastiveTrainer, TrainConfig
+from repro.encoders import RnnSeqEncoder, TrxEncoder
+from repro.eval import ComparisonTable, cross_val_features
+from repro.experiments import gbm_config_for
+from repro.experiments.configs import scaled_profile
+from repro.losses import ContrastiveLoss
+from repro.nn import GRU
+
+
+def _build_encoder(schema, hidden, normalize, learn_init, time_delta, seed):
+    rng = np.random.default_rng(seed)
+    trx = TrxEncoder(schema, use_time_delta=time_delta, rng=rng)
+    encoder = RnnSeqEncoder(trx, hidden, cell="gru", normalize=normalize,
+                            rng=rng)
+    if not learn_init:
+        encoder.rnn = GRU(trx.output_dim, hidden, learn_init_state=False,
+                          rng=rng)
+    return encoder
+
+
+def test_design_choice_ablations(run_once):
+    def experiment():
+        profile = scaled_profile("age", num_epochs=4)
+        dataset = profile.make_dataset(seed=0, labeled_fraction=1.0)
+        labels = dataset.label_array()
+        variants = {
+            "full CoLES": dict(normalize=True, learn_init=True, time_delta=True),
+            "no unit-norm head": dict(normalize=False, learn_init=True,
+                                      time_delta=True),
+            "zero initial state": dict(normalize=True, learn_init=False,
+                                       time_delta=True),
+            "no time-delta feature": dict(normalize=True, learn_init=True,
+                                          time_delta=False),
+        }
+        table = ComparisonTable(
+            "Ablations: CoLES design choices (age, CV accuracy)",
+            ["variant", "measured"],
+        )
+        results = {}
+        for name, flags in variants.items():
+            scores = []
+            for seed in range(2):
+                encoder = _build_encoder(dataset.schema, profile.hidden_size,
+                                         seed=seed, **flags)
+                trainer = ContrastiveTrainer(
+                    encoder, ContrastiveLoss(),
+                    RandomSlices(profile.slice_min, profile.slice_max,
+                                 profile.num_slices),
+                    TrainConfig(num_epochs=profile.num_epochs,
+                                batch_size=profile.batch_size,
+                                learning_rate=profile.learning_rate,
+                                seed=seed),
+                )
+                trainer.fit(dataset)
+                from repro.core import embed_dataset
+
+                embeddings = embed_dataset(encoder, dataset)
+                scores.append(
+                    cross_val_features(embeddings, labels, n_folds=5,
+                                       gbm_config=gbm_config_for(profile))
+                    .mean()
+                )
+            results[name] = float(np.mean(scores))
+            table.add_row(name, results[name])
+        table.print()
+        return results
+
+    results = run_once(experiment)
+    # Every ablated variant must still learn a usable representation
+    # (well above the 0.25 chance level of the 4-class task).  Notable
+    # measured finding, recorded in EXPERIMENTS.md: at toy scale the
+    # *unnormalised* variant beats the paper's unit-norm head — the
+    # embedding magnitude carries activity-level information that the
+    # downstream GBM can exploit, whereas the paper adopts the unit norm
+    # for negative-sampling efficiency on much larger batches.
+    for name, value in results.items():
+        assert value > 0.4, name
+    # The contrastive objective must not collapse in any variant.
+    assert results["no unit-norm head"] > 0.4

@@ -1,0 +1,73 @@
+"""Section 4.3.1: deployment pipeline benches.
+
+Two production properties of the paper:
+- incremental GRU inference (c_{t+k} from c_t) — we time the per-event
+  update and verify equality with full recompute;
+- uint4 quantization — 8x compression with negligible downstream loss.
+"""
+
+import numpy as np
+
+from repro.baselines import handcrafted_features
+from repro.core import (
+    IncrementalEmbedder,
+    embed_dataset,
+    quantize_embeddings,
+)
+from repro.data.synthetic import make_churn_dataset
+from repro.encoders import build_encoder
+from repro.eval import ComparisonTable, cross_val_features
+from repro.experiments import train_coles
+from repro.experiments.configs import scaled_profile
+
+
+def test_incremental_inference(benchmark):
+    dataset = make_churn_dataset(num_clients=20, mean_length=60,
+                                 min_length=30, max_length=90, seed=0)
+    encoder = build_encoder(dataset.schema, 24, "gru",
+                            rng=np.random.default_rng(0))
+    encoder.eval()
+    embedder = IncrementalEmbedder(encoder)
+    full = embed_dataset(encoder, dataset)
+
+    seq = dataset[0]
+    chunk = seq.slice(0, len(seq) // 2)
+    tail = seq.slice(len(seq) // 2, len(seq))
+    embedder.update(seq.seq_id, chunk, dataset.schema)
+
+    def update_tail():
+        fresh = IncrementalEmbedder(encoder)
+        fresh.update(seq.seq_id, chunk, dataset.schema)
+        return fresh.update(seq.seq_id, tail, dataset.schema)
+
+    embedding = benchmark(update_tail)
+    np.testing.assert_allclose(embedding, full[0], rtol=1e-8)
+
+
+def test_quantization_downstream_loss(run_once):
+    """Quantized embeddings must keep downstream quality (Section 4.3.1)."""
+
+    def experiment():
+        profile = scaled_profile("churn", num_epochs=3)
+        dataset = profile.make_dataset(seed=0, labeled_fraction=1.0)
+        model = train_coles(profile, dataset, seed=0)
+        embeddings = model.embed(dataset)
+        labels = dataset.label_array()
+        quantized = quantize_embeddings(embeddings, levels=16)
+        recovered = quantized.dequantize()
+        raw_bytes = embeddings.shape[0] * embeddings.shape[1] * 4
+        table = ComparisonTable(
+            "Section 4.3.1: uint4 embedding quantization",
+            ["representation", "bytes", "CV AUROC"],
+        )
+        full_score = cross_val_features(embeddings, labels, n_folds=3).mean()
+        quant_score = cross_val_features(recovered, labels, n_folds=3).mean()
+        table.add_row("float32", str(raw_bytes), full_score)
+        table.add_row("uint4 (16 levels)", str(quantized.packed_bytes()),
+                      quant_score)
+        table.print()
+        return full_score, quant_score, raw_bytes, quantized.packed_bytes()
+
+    full_score, quant_score, raw_bytes, packed = run_once(experiment)
+    assert packed * 7 < raw_bytes  # ~8x compression
+    assert quant_score > full_score - 0.05  # negligible downstream loss

@@ -1,0 +1,18 @@
+"""Figure 3: embedding dimensionality vs downstream quality.
+
+Paper shape: quality rises quickly with dimensionality and then plateaus
+(diminishing returns; very large dims even degrade slightly).
+"""
+
+from repro.experiments import run_figure3
+
+
+def test_figure3_embedding_dimensionality(run_once):
+    results, table = run_once(run_figure3)
+    table.print()
+    sizes = sorted(results)
+    # The smallest embedding must not be the best (information bottleneck),
+    # and mid-size embeddings should capture most of the quality.
+    best_size = max(results, key=results.get)
+    assert best_size != sizes[0]
+    assert results[sizes[-1]] >= results[sizes[0]] - 0.05

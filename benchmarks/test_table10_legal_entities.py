@@ -1,0 +1,25 @@
+"""Table 10: CoLES embeddings vs hand-crafted baselines for legal entities.
+
+Paper shape: CoLES embeddings beat the hand-crafted baseline on most
+legal-entity tasks (the counterparty structure is hard to hand-engineer),
+and the hybrid never loses to the baseline.
+"""
+
+from repro.experiments import run_table10
+
+
+def test_table10_legal_entities(run_once):
+    results, table = run_once(run_table10)
+    table.print()
+    for task, scenario in results.items():
+        # Hybrid features should not fall far below the baseline (extra
+        # embedding columns add variance but carry the same information).
+        assert scenario["hybrid"] >= scenario["baseline"] - 0.08, task
+    # The signature claims: on the relationship-structured tasks (insurance
+    # leads, holding restoration) the embeddings add real signal beyond
+    # what hand-crafted aggregates can reach — the paper's Section 4.3
+    # explanation of why legal-entity embeddings show the largest gains.
+    assert results["holding_structure"]["coles"] > 0.6
+    assert (results["holding_structure"]["coles"]
+            > results["holding_structure"]["baseline"] + 0.1)
+    assert results["insurance_lead"]["coles"] >= results["insurance_lead"]["baseline"]

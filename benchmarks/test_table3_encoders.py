@@ -1,0 +1,19 @@
+"""Table 3: comparison of encoder types (LSTM / GRU / Transformer).
+
+Paper finding: the encoder choice has little effect, with recurrent
+encoders slightly ahead of the transformer.
+"""
+
+from repro.experiments import run_table3
+
+
+def test_table3_encoder_types(run_once):
+    results, table = run_once(run_table3)
+    table.print()
+    for encoder, per_dataset in results.items():
+        assert per_dataset["age"] > 0.45, encoder
+        assert per_dataset["churn"] > 0.55, encoder
+    # The paper's coarse shape: recurrent encoders are not worse than the
+    # transformer on the churn AUROC task.
+    recurrent_best = max(results["gru"]["churn"], results["lstm"]["churn"])
+    assert recurrent_best >= results["transformer"]["churn"] - 0.05

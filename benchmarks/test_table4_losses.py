@@ -1,0 +1,23 @@
+"""Table 4: comparison of contrastive-learning losses.
+
+Paper finding: the classical contrastive (margin) loss is at or near the
+top despite being the simplest variant.
+"""
+
+import numpy as np
+
+from repro.experiments import run_table4
+
+
+def test_table4_losses(run_once):
+    results, table = run_once(run_table4)
+    table.print()
+    for loss, per_dataset in results.items():
+        assert per_dataset["age"] > 0.40, loss
+        assert per_dataset["churn"] > 0.55, loss
+    # Shape: contrastive is within the toy-scale noise band of the best
+    # loss (the paper's qualitative conclusion is that the basic variant
+    # remains competitive; variant orderings at this scale carry ~0.05-0.1
+    # of seed noise, see EXPERIMENTS.md).
+    best_age = max(v["age"] for v in results.values())
+    assert results["contrastive"]["age"] >= best_age - 0.15

@@ -1,0 +1,18 @@
+"""Table 7: quality of pre-trained models fine-tuned on downstream tasks.
+
+Paper rows: CoLES pre-training + fine-tuning is the best method on all
+datasets, ahead of supervised-only training.
+"""
+
+from repro.experiments import run_table7
+
+
+def test_table7_finetuned_models(run_once):
+    results, table = run_once(run_table7)
+    table.print()
+    coles_age = results["coles"]["age"][0]
+    supervised_age = results["supervised"]["age"][0]
+    assert coles_age > 0.45
+    # Shape: pre-training does not hurt relative to supervised-only
+    # (the paper's central fine-tuning claim, modulo toy-scale noise).
+    assert coles_age >= supervised_age - 0.08

@@ -1,0 +1,76 @@
+"""Age-group prediction: CoLES embeddings vs hand-crafted features vs both.
+
+Reproduces the paper's central comparison (Table 6) on the synthetic
+age-group world: the self-supervised embedding is competitive with
+domain-expert feature engineering, and the combination is strongest.
+Also demonstrates the semi-supervised advantage (Figure 4's premise):
+CoLES pre-trains on ALL clients while labels exist only for a subset.
+
+Run:  python examples/age_group_prediction.py
+"""
+
+import numpy as np
+
+from repro import CoLES
+from repro.baselines import handcrafted_features
+from repro.data import train_test_split
+from repro.data.synthetic import make_age_dataset
+from repro.eval import accuracy
+from repro.gbm import GBMConfig, GradientBoostingClassifier
+
+
+def gbm_accuracy(train_features, train_labels, test_features, test_labels):
+    model = GradientBoostingClassifier(GBMConfig(num_rounds=60, max_depth=3))
+    model.fit(np.asarray(train_features, dtype=float), train_labels)
+    return accuracy(test_labels, model.predict(np.asarray(test_features,
+                                                          dtype=float)))
+
+
+def main():
+    # 40% of clients are unlabeled — useless to supervised pipelines,
+    # free training signal for self-supervision.
+    dataset = make_age_dataset(num_clients=400, labeled_fraction=0.6, seed=3)
+    print(dataset.summary())
+    train, test = train_test_split(dataset, test_fraction=0.15, seed=0)
+    train_labeled = train.labeled()
+    train_labels = train_labeled.label_array()
+    test_labels = test.label_array()
+
+    # ------------------------------------------------------------------
+    # Scenario 1: the domain-expert baseline (Section 4.1.2).
+    # ------------------------------------------------------------------
+    designed_train = handcrafted_features(train_labeled)
+    designed_test = handcrafted_features(test)
+    print("\nhand-crafted features: %d columns, e.g. %s"
+          % (designed_train.shape[1], designed_train.names[:4]))
+    acc_designed = gbm_accuracy(designed_train.values, train_labels,
+                                designed_test.values, test_labels)
+
+    # ------------------------------------------------------------------
+    # Scenario 2: CoLES embeddings (pre-trained on ALL train sequences,
+    # including the unlabeled 40%).
+    # ------------------------------------------------------------------
+    model = CoLES(dataset.schema, hidden_size=32, min_length=5,
+                  max_length=100, seed=0)
+    model.fit(train, num_epochs=5, batch_size=16, learning_rate=0.01)
+    emb_train = model.embed(train_labeled)
+    emb_test = model.embed(test)
+    acc_coles = gbm_accuracy(emb_train, train_labels, emb_test, test_labels)
+
+    # ------------------------------------------------------------------
+    # Scenario 3: hybrid — concatenate both feature sets (the deployment
+    # pattern of Tables 10-11).
+    # ------------------------------------------------------------------
+    hybrid_train = designed_train.concat(emb_train)
+    hybrid_test = designed_test.concat(emb_test)
+    acc_hybrid = gbm_accuracy(hybrid_train.values, train_labels,
+                              hybrid_test.values, test_labels)
+
+    print("\n4-class age-group accuracy on held-out clients (chance = 0.25)")
+    print("  hand-crafted features : %.3f" % acc_designed)
+    print("  CoLES embeddings      : %.3f" % acc_coles)
+    print("  hybrid (both)         : %.3f" % acc_hybrid)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""Legal-entity embeddings: the commercial use case of Section 4.3.
+
+One self-supervised encoder is trained once on companies' money-transfer
+streams; its embeddings then serve FIVE different downstream tasks
+(Table 10) without touching the raw events again — the deployment pattern
+the paper credits with significant financial gains:
+
+- insurance / credit lead generation,
+- credit scoring,
+- fraudulent-transfer monitoring,
+- holding-structure restoration (a company-pair task).
+
+The script also shows why embeddings matter here: the natural grouping
+key for hand-crafted aggregates (the counterparty id) is too high-
+cardinality to aggregate on, so the baseline below only groups by
+currency and transfer type, losing the latent counterparty structure that
+CoLES learns automatically.
+
+Run:  python examples/legal_entity_embeddings.py
+"""
+
+import numpy as np
+
+from repro import CoLES
+from repro.baselines import handcrafted_features
+from repro.data.synthetic import (
+    holding_pairs,
+    make_legal_entities_dataset,
+    with_label_channel,
+)
+from repro.eval import cross_val_features
+from repro.gbm import GBMConfig
+
+TASKS = ("insurance_lead", "credit_lead", "credit_scoring", "fraud")
+GBM = GBMConfig(num_rounds=50, max_depth=3)
+
+
+def pair_features(matrix, pairs):
+    """Order-invariant features of a company pair."""
+    left, right = matrix[pairs[:, 0]], matrix[pairs[:, 1]]
+    return np.concatenate([np.abs(left - right), left * right], axis=1)
+
+
+def main():
+    companies = make_legal_entities_dataset(num_companies=300, seed=5)
+    print(companies.summary())
+
+    # One encoder, trained once, self-supervised.
+    model = CoLES(companies.schema, hidden_size=32, min_length=5,
+                  max_length=100, seed=0)
+    model.fit(companies, num_epochs=4, batch_size=16, learning_rate=0.01)
+    embeddings = model.embed(companies)
+    print("company embeddings:", embeddings.shape)
+
+    # Hand-crafted baseline: groups only by low-cardinality fields.
+    baseline = handcrafted_features(
+        companies, group_fields=("currency", "transfer_type")
+    )
+
+    print("\nAUROC by scenario (3-fold CV)")
+    print("%-22s %9s %9s %9s" % ("task", "baseline", "coles", "hybrid"))
+    for task in TASKS:
+        labels = with_label_channel(companies, task).label_array()
+        hybrid = np.concatenate([baseline.values, embeddings], axis=1)
+        row = []
+        for features in (baseline.values, embeddings, hybrid):
+            row.append(cross_val_features(features, labels, n_folds=3,
+                                          gbm_config=GBM).mean())
+        print("%-22s %9.3f %9.3f %9.3f" % (task, *row))
+
+    # Holding-structure restoration: are two companies in one holding?
+    pairs, labels = holding_pairs(companies, num_pairs=300, seed=1)
+    hybrid_pairs = np.concatenate(
+        [pair_features(baseline.values, pairs), pair_features(embeddings, pairs)],
+        axis=1,
+    )
+    row = []
+    for features in (pair_features(baseline.values, pairs),
+                     pair_features(embeddings, pairs), hybrid_pairs):
+        row.append(cross_val_features(features, labels, n_folds=3,
+                                      gbm_config=GBM).mean())
+    print("%-22s %9.3f %9.3f %9.3f" % ("holding_structure", *row))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""Quickstart: train CoLES on synthetic card transactions and use the
+embeddings for churn prediction.
+
+Walks the full Figure-1 pipeline of the paper:
+
+  Phase 1  — self-supervised contrastive pre-training on ALL sequences
+             (labels never touched);
+  Phase 2a — the frozen embeddings become features for a gradient-boosting
+             classifier on the labeled subset.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import CoLES
+from repro.data import train_test_split
+from repro.data.synthetic import make_churn_dataset
+from repro.eval import auroc
+from repro.gbm import GBMConfig, GradientBoostingClassifier
+
+
+def main():
+    # ------------------------------------------------------------------
+    # 1. Data: 300 synthetic bank clients, half labeled with churn flags.
+    # ------------------------------------------------------------------
+    dataset = make_churn_dataset(num_clients=300, labeled_fraction=0.5, seed=7)
+    print(dataset.summary())
+    train, test = train_test_split(dataset, test_fraction=0.2, seed=0)
+    print("train:", train.summary())
+    print("test :", test.summary())
+
+    # ------------------------------------------------------------------
+    # 2. Phase 1 — self-supervised CoLES pre-training.
+    #    Random slices (Algorithm 1) build positive pairs; the contrastive
+    #    loss with hard negative mining shapes the embedding space.
+    # ------------------------------------------------------------------
+    model = CoLES(
+        dataset.schema,
+        hidden_size=32,          # embedding dimensionality d
+        encoder_type="gru",      # the paper's default phi_seq
+        loss="contrastive",      # Table 4 winner
+        sampler="hard",          # Table 5 winner
+        strategy="random_slices",  # Table 2 winner (Algorithm 1)
+        min_length=5,
+        max_length=80,
+        num_samples=5,           # K sub-sequences per entity (Table 1)
+        seed=0,
+    )
+    model.fit(train, num_epochs=6, batch_size=16, learning_rate=0.01,
+              verbose=True)
+
+    # ------------------------------------------------------------------
+    # 3. Phase 2a — embeddings as features for a downstream GBM.
+    # ------------------------------------------------------------------
+    train_labeled = train.labeled()
+    embeddings_train = model.embed(train_labeled)   # (N, 32) unit vectors
+    embeddings_test = model.embed(test)
+    print("embedding matrix:", embeddings_train.shape)
+
+    classifier = GradientBoostingClassifier(GBMConfig(num_rounds=60))
+    classifier.fit(embeddings_train, train_labeled.label_array())
+    scores = classifier.predict_proba(embeddings_test)[:, 1]
+    print("churn AUROC on held-out clients: %.3f"
+          % auroc(test.label_array(), scores))
+
+    # ------------------------------------------------------------------
+    # 4. The embeddings are reusable artifacts: save, reload, re-embed.
+    # ------------------------------------------------------------------
+    model.save("/tmp/coles_quickstart.npz")
+    reloaded = CoLES(dataset.schema, hidden_size=32, seed=0)
+    reloaded.load("/tmp/coles_quickstart.npz")
+    np.testing.assert_allclose(reloaded.embed(test), embeddings_test)
+    print("saved + reloaded encoder reproduces the embeddings exactly")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Setuptools entry point (kept so editable installs work without wheel)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,44 @@
+"""repro — a from-scratch reproduction of CoLES (Babaev et al., SIGMOD 2022).
+
+Contrastive Learning for Event Sequences with Self-Supervision, built on a
+pure-numpy neural-network substrate.  See README.md for a tour and
+DESIGN.md for the system inventory.
+
+Quickstart::
+
+    from repro import CoLES
+    from repro.data.synthetic import make_churn_dataset
+
+    dataset = make_churn_dataset(num_clients=200)
+    model = CoLES(dataset.schema, hidden_size=32)
+    model.fit(dataset, num_epochs=5)
+    embeddings = model.embed(dataset)        # (200, 32) unit vectors
+"""
+
+from . import (
+    augmentations,
+    baselines,
+    core,
+    data,
+    encoders,
+    eval,
+    gbm,
+    losses,
+    nn,
+)
+from .core import CoLES
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CoLES",
+    "nn",
+    "data",
+    "augmentations",
+    "losses",
+    "encoders",
+    "core",
+    "baselines",
+    "gbm",
+    "eval",
+]

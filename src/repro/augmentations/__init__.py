@@ -1,0 +1,14 @@
+"""Sub-sequence augmentation strategies (Section 3.2 / Table 2)."""
+
+from .base import AugmentationStrategy
+from .disjoint import DisjointSlices
+from .samples import RandomSamples
+from .slices import RandomSlices
+
+__all__ = ["AugmentationStrategy", "RandomSlices", "RandomSamples", "DisjointSlices"]
+
+STRATEGIES = {
+    "random_slices": RandomSlices,
+    "random_samples": RandomSamples,
+    "random_disjoint": DisjointSlices,
+}

@@ -1,0 +1,36 @@
+"""Random disjoint slices — Table 2 baseline (2).
+
+Splits the sequence into ``k`` non-overlapping contiguous segments at
+random boundaries (the generation of Ma et al., 2020).  Motivated by the
+concern that overlapping slices could be "memoised" by the encoder; the
+paper finds the concern unfounded — overlap helps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import AugmentationStrategy
+
+__all__ = ["DisjointSlices"]
+
+
+class DisjointSlices(AugmentationStrategy):
+    """Random partition of the sequence into contiguous segments."""
+
+    def sample(self, sequence, rng):
+        total = len(sequence)
+        if total < self.num_samples:
+            # Cannot cut k non-empty segments; fall back to single segments.
+            return [sequence.slice(0, total)] if total >= 1 else []
+        cuts = np.sort(
+            rng.choice(np.arange(1, total), size=self.num_samples - 1, replace=False)
+        )
+        bounds = np.concatenate([[0], cuts, [total]])
+        segments = []
+        for start, stop in zip(bounds[:-1], bounds[1:]):
+            length = stop - start
+            if length < self.min_length or length > self.max_length:
+                continue
+            segments.append(sequence.slice(int(start), int(stop)))
+        return segments

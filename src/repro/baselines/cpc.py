@@ -1,0 +1,129 @@
+"""Contrastive Predictive Coding (van den Oord et al., 2018) — Section 4.1.3.
+
+The autoregressive context ``c_t = GRU(z_{1..t})`` predicts future event
+representations ``z_{t+k}`` through per-horizon linear maps ``W_k``; the
+InfoNCE objective scores the true future against the other sequences'
+events at the same offset (the in-batch negatives).
+
+After pre-training, the GRU's final context state is the sequence
+embedding used for downstream tasks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.batches import iterate_batches
+from ..data.sequences import SequenceDataset
+from ..encoders import RnnSeqEncoder, TrxEncoder
+from ..nn import Adam, Linear, clip_grad_norm
+from ..nn import functional as F
+from .pretrain_common import PretrainConfig, truncate_tail
+
+__all__ = ["CPC"]
+
+
+class CPC:
+    """CPC pre-training for event sequences.
+
+    Parameters
+    ----------
+    schema:
+        Dataset schema.
+    hidden_size:
+        Context (and embedding) dimensionality.
+    num_horizons:
+        How many future steps K are predicted (W_1 ... W_K).
+    """
+
+    def __init__(self, schema, hidden_size=64, num_horizons=3, seed=0):
+        if num_horizons < 1:
+            raise ValueError("num_horizons must be >= 1")
+        rng = np.random.default_rng(seed)
+        trx = TrxEncoder(schema, rng=rng)
+        # The context network; embeddings are raw final states (no
+        # unit-norm head — CPC's scores are unnormalised dot products).
+        self.encoder = RnnSeqEncoder(trx, hidden_size, cell="gru",
+                                     normalize=False, rng=rng)
+        self.schema = schema
+        self.num_horizons = num_horizons
+        self.predictors = [
+            Linear(hidden_size, trx.output_dim, rng=rng)
+            for _ in range(num_horizons)
+        ]
+        self.history = []
+
+    def _parameters(self):
+        params = list(self.encoder.parameters())
+        for predictor in self.predictors:
+            params.extend(predictor.parameters())
+        return params
+
+    def _info_nce(self, batch):
+        """InfoNCE loss over one padded batch; returns (loss, num_terms)."""
+        z = self.encoder.trx_encoder(batch)          # (B, T, D)
+        states, _ = self.encoder.rnn(z, mask=batch.mask)  # (B, T, H)
+        mask = batch.mask
+        batch_size, steps = mask.shape
+        total, terms = None, 0
+        for k, predictor in enumerate(self.predictors, start=1):
+            if steps <= k:
+                continue
+            pred = predictor(states[:, :steps - k, :])   # (B, T-k, D)
+            target = z[:, k:, :]                          # (B, T-k, D)
+            # (T-k, B, D) x (T-k, D, B) -> per-offset score matrices.
+            scores = pred.transpose(0, 1) @ target.transpose(0, 1).transpose(-1, -2)
+            target_valid = mask[:, k:]                    # (B, T-k)
+            anchor_valid = mask[:, k:]                    # anchor t valid iff t+k real
+            # Mask out columns whose target is padding.
+            col_mask = ~target_valid.T[:, None, :]        # (T-k, 1, B)
+            scores = scores.masked_fill(
+                np.broadcast_to(col_mask, scores.shape), -1e9
+            )
+            logp = F.log_softmax(scores, axis=-1)
+            t_idx, b_idx = np.nonzero(anchor_valid.T)     # valid (t, b) anchors
+            if len(t_idx) == 0:
+                continue
+            picked = logp[t_idx, b_idx, b_idx]
+            term = -picked.sum()
+            total = term if total is None else total + term
+            terms += len(t_idx)
+        if total is None:
+            raise ValueError("batch too short for any prediction horizon")
+        return total * (1.0 / terms), terms
+
+    def fit(self, dataset, config=None):
+        """Pre-train on all sequences (labels unused)."""
+        config = config or PretrainConfig()
+        rng = np.random.default_rng(config.seed)
+        truncated = SequenceDataset(
+            [truncate_tail(seq, config.max_seq_length) for seq in dataset],
+            dataset.schema,
+        )
+        optimizer = Adam(self._parameters(), lr=config.learning_rate)
+        self.encoder.train()
+        for epoch in range(config.num_epochs):
+            losses = []
+            for batch in iterate_batches(truncated.sequences, truncated.schema,
+                                         config.batch_size, rng=rng,
+                                         drop_last=False):
+                if batch.batch_size < 2:
+                    continue
+                loss, _ = self._info_nce(batch)
+                optimizer.zero_grad()
+                loss.backward()
+                if config.clip_norm:
+                    clip_grad_norm(self._parameters(), config.clip_norm)
+                optimizer.step()
+                losses.append(loss.item())
+            mean_loss = float(np.mean(losses)) if losses else float("nan")
+            self.history.append(mean_loss)
+            if config.verbose:
+                print("cpc epoch %3d  loss %.4f" % (epoch, mean_loss))
+        self.encoder.eval()
+        return self
+
+    def embed(self, dataset, batch_size=64):
+        from ..core.inference import embed_dataset
+
+        return embed_dataset(self.encoder, dataset, batch_size=batch_size)

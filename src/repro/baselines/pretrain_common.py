@@ -1,0 +1,45 @@
+"""Shared configuration and helpers for the self-supervised baselines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PretrainConfig", "truncate_tail", "random_slice_pair"]
+
+
+@dataclass
+class PretrainConfig:
+    """Hyper-parameters shared by CPC/NSP/SOP/RTD pre-training."""
+
+    num_epochs: int = 10
+    batch_size: int = 16
+    learning_rate: float = 0.002
+    clip_norm: float = 5.0
+    max_seq_length: int = 150  # truncate long sequences for speed
+    seed: int = 0
+    verbose: bool = False
+
+
+def truncate_tail(sequence, max_length):
+    """Keep the most recent ``max_length`` events (the informative tail)."""
+    if len(sequence) <= max_length:
+        return sequence
+    return sequence.slice(len(sequence) - max_length, len(sequence))
+
+
+def random_slice_pair(sequence, rng, min_length=5):
+    """Two consecutive slices (A, B) from one sequence, or None if too short.
+
+    Used by NSP (B follows A 50% of the time) and SOP (order prediction).
+    """
+    total = len(sequence)
+    if total < 2 * min_length + 1:
+        return None
+    split = int(rng.integers(min_length, total - min_length))
+    a_start = int(rng.integers(0, max(split - 3 * min_length, 0) + 1))
+    b_stop = int(rng.integers(min(split + 3 * min_length, total), total + 1))
+    first = sequence.slice(a_start, split)
+    second = sequence.slice(split, b_stop)
+    if len(first) < 1 or len(second) < 1:
+        return None
+    return first, second

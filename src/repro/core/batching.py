@@ -1,0 +1,67 @@
+"""CoLES batch generation (Section 3.3).
+
+``N`` entities are drawn per batch and ``K`` sub-sequences generated for
+each via the augmentation strategy; sub-sequences of the same entity form
+positive pairs, cross-entity ones negatives.  The collated
+:class:`~repro.data.PaddedBatch` carries the entity id of every view in
+``seq_ids``, which the losses use as group labels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.batches import collate
+
+__all__ = ["coles_batches", "augment_batch"]
+
+
+def augment_batch(sequences, schema, strategy, rng, min_views=2):
+    """Generate views for a list of entities and collate them.
+
+    Entities yielding fewer than ``min_views`` sub-sequences (possible
+    under Algorithm 1's rejection step) are topped up with clamped slices
+    when the strategy supports it, otherwise dropped.  Returns None when
+    fewer than two entities survive (no negative pairs possible).
+    """
+    views = []
+    for seq in sequences:
+        pieces = strategy.sample(seq, rng)
+        if len(pieces) < min_views and hasattr(strategy, "sample_guaranteed"):
+            pieces = strategy.sample_guaranteed(seq, rng)
+        pieces = [p for p in pieces if len(p) >= 1]
+        if len(pieces) >= min_views:
+            views.extend(pieces)
+    if not views:
+        return None
+    if len(np.unique([v.seq_id for v in views])) < 2:
+        return None
+    return collate(views, schema)
+
+
+def coles_batches(dataset, strategy, batch_size, rng, drop_last=False):
+    """Yield one epoch of CoLES training batches.
+
+    Parameters
+    ----------
+    dataset:
+        :class:`~repro.data.SequenceDataset` (labels are ignored — the
+        method is self-supervised).
+    strategy:
+        An :class:`~repro.augmentations.AugmentationStrategy`.
+    batch_size:
+        Number of *entities* per batch (sub-sequence count is
+        ``batch_size * K`` as in Section 4.0.4).
+    """
+    order = np.arange(len(dataset))
+    rng.shuffle(order)
+    for start in range(0, len(order), batch_size):
+        chunk = order[start:start + batch_size]
+        if drop_last and len(chunk) < batch_size:
+            break
+        if len(chunk) < 2:
+            continue
+        batch = augment_batch([dataset[i] for i in chunk], dataset.schema,
+                              strategy, rng)
+        if batch is not None:
+            yield batch

@@ -1,0 +1,75 @@
+"""Embedding quantization (Section 4.3.1).
+
+The paper compresses production embeddings by mapping single-precision
+values into 16 levels (uint4): a 256-dim embedding shrinks from 1KB to
+128 bytes.  We implement symmetric per-dimension linear quantization with
+the same default of 16 levels, plus packing of two 4-bit codes per byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["QuantizedEmbeddings", "quantize_embeddings", "pack_uint4", "unpack_uint4"]
+
+
+@dataclass
+class QuantizedEmbeddings:
+    """Quantized matrix plus the parameters needed to dequantize."""
+
+    codes: np.ndarray       # (N, d) uint8, values in [0, levels)
+    minimums: np.ndarray    # (d,) per-dimension minimum
+    scales: np.ndarray      # (d,) per-dimension step size
+    levels: int
+
+    def dequantize(self):
+        """Reconstruct float embeddings (lossy)."""
+        return self.minimums + self.codes.astype(np.float64) * self.scales
+
+    def packed_bytes(self):
+        """Storage size in bytes when 4-bit codes are packed two-per-byte."""
+        if self.levels > 16:
+            raise ValueError("packing requires <= 16 levels")
+        n, d = self.codes.shape
+        return n * ((d + 1) // 2)
+
+
+def quantize_embeddings(embeddings, levels=16):
+    """Per-dimension linear quantization into ``levels`` codes."""
+    if levels < 2 or levels > 256:
+        raise ValueError("levels must be in [2, 256]")
+    embeddings = np.asarray(embeddings, dtype=np.float64)
+    if embeddings.ndim != 2:
+        raise ValueError("expected a 2-D embedding matrix")
+    minimums = embeddings.min(axis=0)
+    maximums = embeddings.max(axis=0)
+    spans = np.maximum(maximums - minimums, 1e-12)
+    scales = spans / (levels - 1)
+    codes = np.round((embeddings - minimums) / scales)
+    codes = np.clip(codes, 0, levels - 1).astype(np.uint8)
+    return QuantizedEmbeddings(codes=codes, minimums=minimums, scales=scales,
+                               levels=levels)
+
+
+def pack_uint4(codes):
+    """Pack an even-width matrix of 4-bit codes two-per-byte."""
+    codes = np.asarray(codes, dtype=np.uint8)
+    if codes.max(initial=0) > 15:
+        raise ValueError("codes exceed 4 bits")
+    n, d = codes.shape
+    if d % 2:
+        codes = np.concatenate([codes, np.zeros((n, 1), dtype=np.uint8)], axis=1)
+    return (codes[:, 0::2] << 4) | codes[:, 1::2]
+
+
+def unpack_uint4(packed, width):
+    """Inverse of :func:`pack_uint4`; ``width`` is the original dimension."""
+    packed = np.asarray(packed, dtype=np.uint8)
+    high = (packed >> 4) & 0x0F
+    low = packed & 0x0F
+    out = np.empty((packed.shape[0], packed.shape[1] * 2), dtype=np.uint8)
+    out[:, 0::2] = high
+    out[:, 1::2] = low
+    return out[:, :width]

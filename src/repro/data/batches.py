@@ -1,0 +1,103 @@
+"""Padded batches: the tensor form of a list of event sequences.
+
+Sequences of different lengths are right-padded to the batch maximum.
+Categorical fields pad with the reserved code 0, numerical fields with 0.0,
+and a boolean mask marks real events.  All downstream modules (encoders,
+losses, baselines) consume this structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .schema import PADDING_CODE
+
+__all__ = ["PaddedBatch", "collate", "iterate_batches"]
+
+
+@dataclass
+class PaddedBatch:
+    """A batch of padded sequences.
+
+    Attributes
+    ----------
+    fields:
+        Mapping field name -> array of shape ``(B, T)``.
+    lengths:
+        True sequence lengths, shape ``(B,)``.
+    seq_ids:
+        Entity ids, shape ``(B,)`` — used to build positive pairs.
+    labels:
+        Object array of labels (None where unlabeled).
+    """
+
+    fields: dict
+    lengths: np.ndarray
+    seq_ids: np.ndarray
+    labels: np.ndarray
+    schema: object = None  # the EventSchema the batch was collated under
+
+    @property
+    def batch_size(self):
+        return len(self.lengths)
+
+    @property
+    def max_length(self):
+        return 0 if not self.fields else next(iter(self.fields.values())).shape[1]
+
+    @property
+    def mask(self):
+        """Boolean ``(B, T)``: True at real (non-padded) positions."""
+        steps = np.arange(self.max_length)
+        return steps[None, :] < self.lengths[:, None]
+
+    def label_array(self):
+        if any(label is None for label in self.labels):
+            raise ValueError("batch contains unlabeled sequences")
+        return np.asarray(self.labels.tolist())
+
+
+def collate(sequences, schema):
+    """Stack a list of :class:`EventSequence` into a :class:`PaddedBatch`."""
+    if not sequences:
+        raise ValueError("cannot collate an empty list of sequences")
+    lengths = np.array([len(seq) for seq in sequences])
+    if lengths.min() < 1:
+        raise ValueError("cannot collate empty sequences")
+    max_len = int(lengths.max())
+    batch_fields = {}
+    for name in schema.field_names:
+        if name in schema.categorical:
+            padded = np.full((len(sequences), max_len), PADDING_CODE, dtype=np.int64)
+        else:
+            padded = np.zeros((len(sequences), max_len), dtype=np.float64)
+        for row, seq in enumerate(sequences):
+            padded[row, : lengths[row]] = seq.fields[name]
+        batch_fields[name] = padded
+    return PaddedBatch(
+        fields=batch_fields,
+        lengths=lengths,
+        seq_ids=np.array([seq.seq_id for seq in sequences]),
+        labels=np.array([seq.label for seq in sequences], dtype=object),
+        schema=schema,
+    )
+
+
+def iterate_batches(sequences, schema, batch_size, rng=None, shuffle=True,
+                    drop_last=False):
+    """Yield :class:`PaddedBatch` objects over ``sequences``.
+
+    Shuffles between epochs when ``rng`` is given; the generator covers one
+    epoch per call.
+    """
+    order = np.arange(len(sequences))
+    if shuffle:
+        rng = rng or np.random.default_rng()
+        rng.shuffle(order)
+    for start in range(0, len(order), batch_size):
+        chunk = order[start:start + batch_size]
+        if drop_last and len(chunk) < batch_size:
+            break
+        yield collate([sequences[i] for i in chunk], schema)

@@ -1,0 +1,64 @@
+"""Synthetic event-sequence worlds replacing the paper's datasets."""
+
+from .base import (
+    ClassPrototype,
+    lognormal_amounts,
+    markov_types,
+    periodic_event_times,
+    sample_length,
+    sample_type_mixture,
+)
+from .commercial import (
+    LEGAL_SCHEMA,
+    LEGAL_TASKS,
+    RETAIL_CUSTOMER_SCHEMA,
+    RETAIL_CUSTOMER_TASKS,
+    holding_pairs,
+    make_legal_entities_dataset,
+    make_retail_customers_dataset,
+    with_label_channel,
+)
+from .public import (
+    AGE_SCHEMA,
+    ASSESSMENT_SCHEMA,
+    CHURN_SCHEMA,
+    RETAIL_SCHEMA,
+    SCORING_SCHEMA,
+    make_age_dataset,
+    make_assessment_dataset,
+    make_churn_dataset,
+    make_retail_dataset,
+    make_scoring_dataset,
+)
+from .texts import TEXTS_SCHEMA, make_texts_dataset
+from .transactions import generate_class_dataset
+
+__all__ = [
+    "ClassPrototype",
+    "sample_type_mixture",
+    "markov_types",
+    "periodic_event_times",
+    "lognormal_amounts",
+    "sample_length",
+    "generate_class_dataset",
+    "make_age_dataset",
+    "make_churn_dataset",
+    "make_assessment_dataset",
+    "make_retail_dataset",
+    "make_scoring_dataset",
+    "make_legal_entities_dataset",
+    "make_retail_customers_dataset",
+    "with_label_channel",
+    "holding_pairs",
+    "make_texts_dataset",
+    "AGE_SCHEMA",
+    "CHURN_SCHEMA",
+    "ASSESSMENT_SCHEMA",
+    "RETAIL_SCHEMA",
+    "SCORING_SCHEMA",
+    "LEGAL_SCHEMA",
+    "LEGAL_TASKS",
+    "RETAIL_CUSTOMER_SCHEMA",
+    "RETAIL_CUSTOMER_TASKS",
+    "TEXTS_SCHEMA",
+]

@@ -1,0 +1,100 @@
+"""Generic generator for card-transaction-style datasets.
+
+The four public transaction datasets of the paper (age, churn, retail,
+scoring) share one structure: a client belongs to a latent class, the class
+shapes a personal event-type mixture, amounts and activity profile, and a
+(possibly hidden) label is the class itself or a function of it.  This
+module provides that shared machinery; the dataset modules configure it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sequences import EventSequence, SequenceDataset
+from .base import (
+    lognormal_amounts,
+    markov_types,
+    periodic_event_times,
+    sample_length,
+    sample_type_mixture,
+)
+
+__all__ = ["generate_class_dataset"]
+
+
+def generate_class_dataset(
+    name,
+    prototypes,
+    class_probs,
+    num_clients,
+    schema,
+    type_field,
+    amount_field,
+    mean_length,
+    min_length,
+    max_length,
+    labeled_fraction,
+    seed,
+    extra_fields=None,
+    type_offsets=None,
+):
+    """Generate a labeled-class transaction dataset.
+
+    Parameters
+    ----------
+    prototypes:
+        One :class:`ClassPrototype` per class; class index is the label.
+    class_probs:
+        Class prior probabilities.
+    schema:
+        Dataset schema; must contain ``type_field`` (categorical) and
+        ``amount_field`` (numerical).
+    extra_fields:
+        Optional callable ``(rng, class_idx, types, times) -> dict`` adding
+        dataset-specific fields.
+    type_offsets:
+        Optional per-type log-amount offsets (index by 1-based type code).
+    labeled_fraction:
+        Probability that a client keeps its label (the rest are unlabeled,
+        matching the partially-labeled public datasets).
+
+    Returns
+    -------
+    :class:`SequenceDataset` with labels present on a random subset.
+    """
+    class_probs = np.asarray(class_probs, dtype=np.float64)
+    if len(class_probs) != len(prototypes):
+        raise ValueError("class_probs and prototypes length mismatch")
+    if not np.isclose(class_probs.sum(), 1.0):
+        raise ValueError("class_probs must sum to 1")
+    rng = np.random.default_rng(seed)
+    sequences = []
+    for client in range(num_clients):
+        class_idx = int(rng.choice(len(prototypes), p=class_probs))
+        proto = prototypes[class_idx]
+        mixture = sample_type_mixture(proto, rng)
+        length = sample_length(mean_length, min_length, max_length, rng)
+        types = markov_types(mixture, proto.persistence, length, rng)
+        times = periodic_event_times(
+            length,
+            proto.rate_per_day,
+            proto.weekend_bias,
+            rng,
+            start_day=float(rng.integers(0, 7)),
+            activity_trend=proto.activity_trend,
+        )
+        amount_mu = proto.amount_mu + rng.normal(0.0, 0.2)
+        amounts = lognormal_amounts(
+            types, amount_mu, proto.amount_sigma, rng, type_offsets=type_offsets
+        )
+        fields = {
+            schema.time_field: times,
+            type_field: types,
+            amount_field: amounts,
+        }
+        if extra_fields is not None:
+            fields.update(extra_fields(rng, class_idx, types, times))
+        label = class_idx if rng.random() < labeled_fraction else None
+        sequences.append(EventSequence(seq_id=client, fields=fields, label=label))
+    return SequenceDataset(sequences, schema, name=name).validate()

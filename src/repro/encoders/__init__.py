@@ -1,0 +1,18 @@
+"""Encoders: event-level phi_evt and sequence-level phi_seq (Section 3.4)."""
+
+from .seq_encoder import (
+    RnnSeqEncoder,
+    SeqEncoder,
+    TransformerSeqEncoder,
+    build_encoder,
+)
+from .trx_encoder import TrxEncoder, default_embedding_dim
+
+__all__ = [
+    "TrxEncoder",
+    "default_embedding_dim",
+    "SeqEncoder",
+    "RnnSeqEncoder",
+    "TransformerSeqEncoder",
+    "build_encoder",
+]

@@ -1,0 +1,35 @@
+"""Evaluation: metrics, KL experiment, downstream harnesses, reporting."""
+
+from .downstream import (
+    cross_val_features,
+    evaluate_features,
+    fine_tune_and_evaluate,
+)
+from .kl import KLExperimentResult, slice_kl_experiment
+from .metrics import (
+    accuracy,
+    auroc,
+    evaluate_predictions,
+    kl_divergence,
+    mean_std,
+    task_metric,
+)
+from .plots import ascii_histogram, ascii_series
+from .reporting import ComparisonTable
+
+__all__ = [
+    "accuracy",
+    "auroc",
+    "kl_divergence",
+    "mean_std",
+    "task_metric",
+    "evaluate_predictions",
+    "slice_kl_experiment",
+    "KLExperimentResult",
+    "evaluate_features",
+    "cross_val_features",
+    "fine_tune_and_evaluate",
+    "ComparisonTable",
+    "ascii_histogram",
+    "ascii_series",
+]

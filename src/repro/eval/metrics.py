@@ -1,0 +1,84 @@
+"""Evaluation metrics: accuracy, AUROC, KL divergence, mean±std helpers.
+
+The paper reports accuracy on the multiclass datasets (age, assessment,
+retail) and AUROC on the binary ones (churn, scoring, all commercial
+tasks); :func:`task_metric` encodes that convention.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.stats import rankdata
+
+__all__ = [
+    "accuracy",
+    "auroc",
+    "kl_divergence",
+    "mean_std",
+    "task_metric",
+    "evaluate_predictions",
+]
+
+
+def accuracy(targets, predictions):
+    """Fraction of exact label matches."""
+    targets = np.asarray(targets)
+    predictions = np.asarray(predictions)
+    if targets.shape != predictions.shape:
+        raise ValueError("shape mismatch")
+    if len(targets) == 0:
+        raise ValueError("empty inputs")
+    return float((targets == predictions).mean())
+
+
+def auroc(targets, scores):
+    """Area under the ROC curve via the rank (Mann–Whitney) statistic.
+
+    Handles ties by average ranks; requires both classes present.
+    """
+    targets = np.asarray(targets)
+    scores = np.asarray(scores, dtype=np.float64)
+    if targets.shape != scores.shape:
+        raise ValueError("shape mismatch")
+    positives = int((targets == 1).sum())
+    negatives = int((targets == 0).sum())
+    if positives == 0 or negatives == 0:
+        raise ValueError("AUROC needs both classes present")
+    ranks = rankdata(scores)
+    rank_sum = ranks[targets == 1].sum()
+    u_statistic = rank_sum - positives * (positives + 1) / 2.0
+    return float(u_statistic / (positives * negatives))
+
+
+def kl_divergence(p, q, epsilon=1e-9):
+    """KL(p || q) for discrete distributions with additive smoothing."""
+    p = np.asarray(p, dtype=np.float64) + epsilon
+    q = np.asarray(q, dtype=np.float64) + epsilon
+    p = p / p.sum()
+    q = q / q.sum()
+    return float((p * np.log(p / q)).sum())
+
+
+def mean_std(values):
+    """(mean, std) of a sequence of run metrics — the paper's ±std format."""
+    values = np.asarray(values, dtype=np.float64)
+    if len(values) == 0:
+        raise ValueError("no values")
+    return float(values.mean()), float(values.std())
+
+
+def task_metric(labels):
+    """Metric name by task arity: binary -> auroc, multiclass -> accuracy."""
+    unique = np.unique(np.asarray(labels))
+    return "auroc" if len(unique) == 2 else "accuracy"
+
+
+def evaluate_predictions(targets, probabilities, metric=None):
+    """Score class probabilities with the task-appropriate metric."""
+    probabilities = np.asarray(probabilities)
+    metric = metric or task_metric(targets)
+    if metric == "auroc":
+        return auroc(targets, probabilities[:, 1])
+    if metric == "accuracy":
+        return accuracy(targets, probabilities.argmax(axis=1))
+    raise ValueError("unknown metric %r" % metric)

@@ -1,0 +1,92 @@
+"""Terminal plots: ASCII histograms and line series for the figure benches.
+
+The paper's figures are visual; these helpers render the same data as
+text so the benchmark output is self-contained in a terminal/CI log.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ascii_histogram", "ascii_series"]
+
+
+def ascii_histogram(groups, num_bins=20, width=40, value_range=None):
+    """Render overlaid histograms of several samples.
+
+    Parameters
+    ----------
+    groups:
+        Mapping label -> 1-D array of values.
+    num_bins:
+        Number of equal-width bins.
+    value_range:
+        Optional (low, high); defaults to the pooled min/max.
+
+    Returns a multi-line string; each bin row shows one bar per group.
+    """
+    if not groups:
+        raise ValueError("no data")
+    pooled = np.concatenate([np.asarray(v, dtype=float) for v in groups.values()])
+    if value_range is None:
+        low, high = float(pooled.min()), float(pooled.max())
+    else:
+        low, high = value_range
+    if high <= low:
+        high = low + 1.0
+    edges = np.linspace(low, high, num_bins + 1)
+    counts = {
+        label: np.histogram(np.asarray(values, dtype=float), bins=edges)[0]
+        for label, values in groups.items()
+    }
+    peak = max(1, max(c.max() for c in counts.values()))
+    chars = {}
+    for index, label in enumerate(groups):
+        chars[label] = "#*o@+x"[index % 6]
+
+    lines = ["  legend: " + ", ".join(
+        "%s=%s" % (chars[label], label) for label in groups
+    )]
+    for b in range(num_bins):
+        row = "%8.2f |" % edges[b]
+        for label in groups:
+            bar = int(round(width * counts[label][b] / peak))
+            row += " %s" % (chars[label] * bar).ljust(width)
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def ascii_series(series, width=50, height=12):
+    """Render one or more (x, y) series as a text chart.
+
+    ``series`` maps label -> (xs, ys).  X values are placed on a shared
+    grid; Y is scaled to the pooled range.
+    """
+    if not series:
+        raise ValueError("no data")
+    all_x = np.concatenate([np.asarray(xs, dtype=float) for xs, _ in series.values()])
+    all_y = np.concatenate([np.asarray(ys, dtype=float) for _, ys in series.values()])
+    x_low, x_high = float(all_x.min()), float(all_x.max())
+    y_low, y_high = float(all_y.min()), float(all_y.max())
+    if x_high <= x_low:
+        x_high = x_low + 1.0
+    if y_high <= y_low:
+        y_high = y_low + 1e-9
+    grid = [[" "] * width for _ in range(height)]
+    marks = "#*o@+x"
+    for index, (label, (xs, ys)) in enumerate(series.items()):
+        mark = marks[index % len(marks)]
+        for x, y in zip(xs, ys):
+            col = int(round((x - x_low) / (x_high - x_low) * (width - 1)))
+            row = int(round((y - y_low) / (y_high - y_low) * (height - 1)))
+            grid[height - 1 - row][col] = mark
+    lines = ["  legend: " + ", ".join(
+        "%s=%s" % (marks[i % len(marks)], label)
+        for i, label in enumerate(series)
+    )]
+    lines.append("%8.3f ┐" % y_high)
+    for row in grid:
+        lines.append("         │" + "".join(row))
+    lines.append("%8.3f └%s" % (y_low, "─" * width))
+    lines.append("          %-8.2f%s%8.2f" % (x_low, " " * (width - 16), x_high))
+    return "\n".join(lines)

@@ -1,0 +1,60 @@
+"""Textual reporting: paper-value vs measured-value tables.
+
+Every benchmark prints its rows through :class:`ComparisonTable` so the
+console output (and EXPERIMENTS.md) reads like the paper's tables with an
+extra "measured" column.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ComparisonTable"]
+
+
+class ComparisonTable:
+    """Accumulates rows and renders an aligned text table."""
+
+    def __init__(self, title, columns):
+        self.title = title
+        self.columns = list(columns)
+        self.rows = []
+        self.footer = None  # optional free-form block (e.g. an ASCII chart)
+
+    def add_row(self, *values):
+        if len(values) != len(self.columns):
+            raise ValueError(
+                "expected %d values, got %d" % (len(self.columns), len(values))
+            )
+        self.rows.append([_format_cell(v) for v in values])
+
+    def render(self):
+        widths = [
+            max(len(self.columns[i]), *(len(row[i]) for row in self.rows))
+            if self.rows else len(self.columns[i])
+            for i in range(len(self.columns))
+        ]
+        lines = ["", "=== %s ===" % self.title]
+        header = "  ".join(
+            name.ljust(width) for name, width in zip(self.columns, widths)
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in self.rows:
+            lines.append(
+                "  ".join(cell.ljust(width) for cell, width in zip(row, widths))
+            )
+        if self.footer:
+            lines.append("")
+            lines.append(self.footer)
+        return "\n".join(lines)
+
+    def print(self):
+        print(self.render())
+        return self
+
+
+def _format_cell(value):
+    if isinstance(value, float):
+        return "%.3f" % value
+    if isinstance(value, tuple) and len(value) == 2:
+        return "%.3f±%.3f" % value
+    return str(value)

@@ -1,0 +1,48 @@
+"""Experiment runners: one per table/figure of the paper's evaluation."""
+
+from . import paper_numbers
+from .configs import PAPER_TABLE1, PROFILES, DatasetProfile, scaled_profile
+from .figures import run_figure2, run_figure3, run_figure4
+from .runners import (
+    cv_embedding_metric,
+    gbm_config_for,
+    phase2a_test_metric,
+    phase2b_test_metric,
+    pretrain_method,
+    train_coles,
+)
+from .tables import (
+    run_table2,
+    run_table3,
+    run_table4,
+    run_table5,
+    run_table6,
+    run_table7,
+    run_table10,
+    run_table11,
+)
+
+__all__ = [
+    "PROFILES",
+    "DatasetProfile",
+    "scaled_profile",
+    "PAPER_TABLE1",
+    "paper_numbers",
+    "train_coles",
+    "cv_embedding_metric",
+    "pretrain_method",
+    "phase2a_test_metric",
+    "phase2b_test_metric",
+    "gbm_config_for",
+    "run_table2",
+    "run_table3",
+    "run_table4",
+    "run_table5",
+    "run_table6",
+    "run_table7",
+    "run_table10",
+    "run_table11",
+    "run_figure2",
+    "run_figure3",
+    "run_figure4",
+]

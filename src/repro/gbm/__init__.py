@@ -1,0 +1,17 @@
+"""Histogram gradient boosting — the downstream GBM of Phase 2a."""
+
+from .binning import BinMapper
+from .boosting import GBMConfig, GradientBoostingClassifier
+from .objectives import BinaryLogistic, MulticlassSoftmax, resolve_objective
+from .tree import RegressionTree, TreeParams
+
+__all__ = [
+    "BinMapper",
+    "RegressionTree",
+    "TreeParams",
+    "BinaryLogistic",
+    "MulticlassSoftmax",
+    "resolve_objective",
+    "GradientBoostingClassifier",
+    "GBMConfig",
+]

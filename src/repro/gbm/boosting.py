@@ -1,0 +1,160 @@
+"""Gradient boosting on binned features — the LightGBM substitute.
+
+Implements the downstream model of the paper's Phase 2a (Figure 1): a GBM
+trained on either hand-crafted aggregates or sequence embeddings.  The
+algorithm is standard second-order boosting: per round, fit one regression
+tree (per class for multiclass) to the objective's gradients/hessians on
+quantile-binned features, with shrinkage, optional row subsampling and
+early stopping on a validation set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .binning import BinMapper
+from .objectives import resolve_objective
+from .tree import RegressionTree, TreeParams
+
+__all__ = ["GBMConfig", "GradientBoostingClassifier"]
+
+
+@dataclass(frozen=True)
+class GBMConfig:
+    """Boosting hyper-parameters (LightGBM-style defaults, scaled down)."""
+
+    num_rounds: int = 60
+    learning_rate: float = 0.1
+    max_depth: int = 3
+    min_samples_leaf: int = 5
+    reg_lambda: float = 1.0
+    max_bins: int = 64
+    subsample: float = 1.0
+    early_stopping_rounds: int = 0  # 0 disables
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.num_rounds < 1:
+            raise ValueError("num_rounds must be >= 1")
+        if not 0.0 < self.learning_rate <= 1.0:
+            raise ValueError("learning_rate must be in (0, 1]")
+        if not 0.0 < self.subsample <= 1.0:
+            raise ValueError("subsample must be in (0, 1]")
+
+
+class GradientBoostingClassifier:
+    """Binary or multiclass GBM; the objective is inferred from the labels."""
+
+    def __init__(self, config=None):
+        self.config = config or GBMConfig()
+        self.mapper_ = None
+        self.objective_ = None
+        self.trees_ = []          # list of per-round lists (one tree per column)
+        self.train_losses_ = []
+        self.valid_losses_ = []
+        self.best_round_ = None
+
+    # ------------------------------------------------------------------
+    def fit(self, features, targets, eval_set=None):
+        """Train; ``eval_set=(X_valid, y_valid)`` enables early stopping."""
+        config = self.config
+        features = np.asarray(features, dtype=np.float64)
+        self.objective_ = resolve_objective(targets)
+        targets = self.objective_.validate_targets(targets)
+        self.mapper_ = BinMapper(config.max_bins)
+        binned = self.mapper_.fit_transform(features)
+
+        valid_binned = valid_targets = None
+        if eval_set is not None:
+            valid_binned = self.mapper_.transform(np.asarray(eval_set[0]))
+            valid_targets = self.objective_.validate_targets(eval_set[1])
+
+        rng = np.random.default_rng(config.seed)
+        scores = self.objective_.initial_scores(targets)
+        self.init_row_ = scores[0].copy()
+        valid_scores = (
+            None if valid_binned is None
+            else np.tile(scores[0], (len(valid_binned), 1))
+        )
+        tree_params = TreeParams(
+            max_depth=config.max_depth,
+            min_samples_leaf=config.min_samples_leaf,
+            reg_lambda=config.reg_lambda,
+        )
+        self.trees_ = []
+        self.train_losses_ = []
+        self.valid_losses_ = []
+        best_valid = np.inf
+        rounds_since_best = 0
+        for round_index in range(config.num_rounds):
+            gradients, hessians = self.objective_.gradients_hessians(
+                scores, targets
+            )
+            if config.subsample < 1.0:
+                keep = rng.random(len(binned)) < config.subsample
+                if keep.sum() < 2 * config.min_samples_leaf:
+                    keep[:] = True
+            else:
+                keep = slice(None)
+            round_trees = []
+            for column in range(self.objective_.num_score_columns):
+                tree = RegressionTree(tree_params)
+                tree.fit(binned[keep], gradients[keep, column],
+                         hessians[keep, column])
+                update = tree.predict(binned)
+                scores[:, column] += config.learning_rate * update
+                if valid_scores is not None:
+                    valid_scores[:, column] += config.learning_rate * tree.predict(
+                        valid_binned
+                    )
+                round_trees.append(tree)
+            self.trees_.append(round_trees)
+            self.train_losses_.append(self.objective_.loss(scores, targets))
+            if valid_scores is not None:
+                valid_loss = self.objective_.loss(valid_scores, valid_targets)
+                self.valid_losses_.append(valid_loss)
+                if valid_loss < best_valid - 1e-9:
+                    best_valid = valid_loss
+                    self.best_round_ = round_index
+                    rounds_since_best = 0
+                else:
+                    rounds_since_best += 1
+                    if (config.early_stopping_rounds
+                            and rounds_since_best >= config.early_stopping_rounds):
+                        break
+        if self.best_round_ is None:
+            self.best_round_ = len(self.trees_) - 1
+        return self
+
+    # ------------------------------------------------------------------
+    def _raw_scores(self, features, num_rounds=None):
+        if self.mapper_ is None:
+            raise RuntimeError("model is not fitted")
+        binned = self.mapper_.transform(np.asarray(features, dtype=np.float64))
+        use_rounds = (
+            len(self.trees_) if num_rounds is None
+            else min(num_rounds, len(self.trees_))
+        )
+        scores = np.tile(self.init_row_, (len(binned), 1))
+        for round_trees in self.trees_[:use_rounds]:
+            for column, tree in enumerate(round_trees):
+                scores[:, column] += self.config.learning_rate * tree.predict(binned)
+        return scores
+
+    def predict_proba(self, features):
+        """Class probabilities ``(n, C)`` using early-stopped round count."""
+        if self.objective_ is None:
+            raise RuntimeError("model is not fitted")
+        rounds = self.best_round_ + 1 if self.valid_losses_ else None
+        return self.objective_.predict_proba(
+            self._raw_scores(features, num_rounds=rounds)
+        )
+
+    def predict(self, features):
+        return self.predict_proba(features).argmax(axis=1)
+
+    @property
+    def num_trees(self):
+        return sum(len(round_trees) for round_trees in self.trees_)

@@ -1,0 +1,102 @@
+"""Boosting objectives: binary logistic and multiclass softmax.
+
+Each objective provides per-sample gradients/hessians of the loss w.r.t.
+raw scores, plus the link from raw scores to probabilities.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["BinaryLogistic", "MulticlassSoftmax", "resolve_objective"]
+
+
+def _sigmoid(x):
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -500, 500)))
+
+
+def _softmax(scores):
+    shifted = scores - scores.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+class BinaryLogistic:
+    """Log-loss on a single raw score column."""
+
+    num_score_columns = 1
+
+    def __init__(self):
+        self.init_score_ = None
+
+    def validate_targets(self, targets):
+        targets = np.asarray(targets)
+        unique = np.unique(targets)
+        if not np.isin(unique, [0, 1]).all():
+            raise ValueError("binary objective expects labels in {0, 1}")
+        return targets.astype(np.float64)
+
+    def initial_scores(self, targets):
+        prior = np.clip(targets.mean(), 1e-6, 1 - 1e-6)
+        self.init_score_ = float(np.log(prior / (1 - prior)))
+        return np.full((len(targets), 1), self.init_score_)
+
+    def gradients_hessians(self, scores, targets):
+        probs = _sigmoid(scores[:, 0])
+        grad = probs - targets
+        hess = np.maximum(probs * (1 - probs), 1e-12)
+        return grad[:, None], hess[:, None]
+
+    def predict_proba(self, scores):
+        positive = _sigmoid(scores[:, 0])
+        return np.column_stack([1 - positive, positive])
+
+    def loss(self, scores, targets):
+        probs = np.clip(_sigmoid(scores[:, 0]), 1e-12, 1 - 1e-12)
+        return float(-(targets * np.log(probs)
+                       + (1 - targets) * np.log(1 - probs)).mean())
+
+
+class MulticlassSoftmax:
+    """Softmax cross-entropy with one score column per class."""
+
+    def __init__(self, num_classes):
+        if num_classes < 2:
+            raise ValueError("num_classes must be >= 2")
+        self.num_classes = num_classes
+        self.num_score_columns = num_classes
+
+    def validate_targets(self, targets):
+        targets = np.asarray(targets)
+        if targets.min() < 0 or targets.max() >= self.num_classes:
+            raise ValueError("labels out of range [0, %d)" % self.num_classes)
+        return targets.astype(np.int64)
+
+    def initial_scores(self, targets):
+        counts = np.bincount(targets, minlength=self.num_classes)
+        priors = np.clip(counts / counts.sum(), 1e-6, 1.0)
+        return np.tile(np.log(priors), (len(targets), 1))
+
+    def gradients_hessians(self, scores, targets):
+        probs = _softmax(scores)
+        grad = probs.copy()
+        grad[np.arange(len(targets)), targets] -= 1.0
+        hess = np.maximum(probs * (1 - probs), 1e-12)
+        return grad, hess
+
+    def predict_proba(self, scores):
+        return _softmax(scores)
+
+    def loss(self, scores, targets):
+        probs = np.clip(_softmax(scores), 1e-12, 1.0)
+        return float(-np.log(probs[np.arange(len(targets)), targets]).mean())
+
+
+def resolve_objective(targets):
+    """Pick the objective from the observed label set."""
+    unique = np.unique(np.asarray(targets))
+    if len(unique) < 2:
+        raise ValueError("need at least two classes")
+    if set(unique.tolist()) <= {0, 1}:
+        return BinaryLogistic()
+    return MulticlassSoftmax(int(unique.max()) + 1)

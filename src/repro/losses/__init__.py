@@ -1,0 +1,39 @@
+"""Metric-learning losses and negative samplers (Tables 4 and 5)."""
+
+from .binomial import BinomialDevianceLoss
+from .contrastive import ContrastiveLoss
+from .histogram import HistogramLoss
+from .margin import MarginLoss
+from .pairs import negative_candidates, positive_pairs
+from .sampling import (
+    SAMPLERS,
+    DistanceWeightedSampler,
+    HardNegativeMiner,
+    NegativeSampler,
+    RandomNegativeSampler,
+)
+from .triplet import TripletLoss
+
+__all__ = [
+    "ContrastiveLoss",
+    "BinomialDevianceLoss",
+    "TripletLoss",
+    "HistogramLoss",
+    "MarginLoss",
+    "positive_pairs",
+    "negative_candidates",
+    "NegativeSampler",
+    "RandomNegativeSampler",
+    "HardNegativeMiner",
+    "DistanceWeightedSampler",
+    "SAMPLERS",
+    "LOSSES",
+]
+
+LOSSES = {
+    "contrastive": ContrastiveLoss,
+    "binomial_deviance": BinomialDevianceLoss,
+    "triplet": TripletLoss,
+    "histogram": HistogramLoss,
+    "margin": MarginLoss,
+}

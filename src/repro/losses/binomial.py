@@ -1,0 +1,48 @@
+"""Binomial deviance loss (Yi et al., 2014) — Table 4 alternative.
+
+Operates on cosine similarities s (embeddings are unit-norm):
+
+    L_pos = softplus(-alpha * (s - beta))
+    L_neg = softplus( alpha * (s - beta)) * c
+
+with ``c`` down-weighting the abundant negatives.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .pairs import positive_pairs
+from .sampling import HardNegativeMiner
+
+__all__ = ["BinomialDevianceLoss"]
+
+
+def _softplus(x):
+    """Numerically stable log(1 + exp(x)) on Tensors."""
+    return x.clip_min(0.0) + ((-x.abs()).exp() + 1.0).log()
+
+
+class BinomialDevianceLoss:
+    """Callable: ``loss(embeddings, groups, rng) -> scalar Tensor``."""
+
+    name = "binomial_deviance"
+
+    def __init__(self, alpha=2.0, beta=0.5, neg_weight=1.0, sampler=None):
+        self.alpha = alpha
+        self.beta = beta
+        self.neg_weight = neg_weight
+        self.sampler = sampler or HardNegativeMiner()
+
+    def __call__(self, embeddings, groups, rng=None):
+        rng = rng or np.random.default_rng()
+        pos_i, pos_j = positive_pairs(groups)
+        if len(pos_i) == 0:
+            raise ValueError("batch contains no positive pairs")
+        sims = embeddings @ embeddings.T
+        dists = np.sqrt(np.maximum(2.0 - 2.0 * sims.data, 0.0))
+        neg_a, neg_b = self.sampler.select(dists, groups, rng)
+
+        pos_term = _softplus((sims[pos_i, pos_j] - self.beta) * (-self.alpha))
+        neg_term = _softplus((sims[neg_a, neg_b] - self.beta) * self.alpha)
+        return pos_term.mean() + neg_term.mean() * self.neg_weight

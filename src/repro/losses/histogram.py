@@ -1,0 +1,62 @@
+"""Histogram loss (Ustinova & Lempitsky, 2016) — Table 4 alternative.
+
+Builds soft histograms of the cosine similarities of positive and negative
+pairs and minimises the probability that a random negative pair is more
+similar than a random positive pair:
+
+    L = sum_k q_k * cumsum(p)_k
+
+where p and q are the (differentiable, linearly-interpolated) histograms
+of positive and negative similarities over [-1, 1].
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import Tensor
+from .pairs import negative_candidates, positive_pairs
+
+__all__ = ["HistogramLoss"]
+
+
+class HistogramLoss:
+    """Callable: ``loss(embeddings, groups, rng) -> scalar Tensor``.
+
+    Uses *all* negative pairs (the loss is already a distribution-level
+    quantity, so sampling is unnecessary at our batch sizes).
+    """
+
+    name = "histogram"
+
+    def __init__(self, num_bins=25):
+        if num_bins < 2:
+            raise ValueError("num_bins must be >= 2")
+        self.num_bins = num_bins
+        self._centers = np.linspace(-1.0, 1.0, num_bins)
+        self._delta = 2.0 / (num_bins - 1)
+        # Lower-triangular matrix turns a histogram into its CDF.
+        self._cdf_matrix = np.tril(np.ones((num_bins, num_bins)))
+
+    def _soft_histogram(self, sims):
+        """Triangular-kernel soft assignment of similarities to bins."""
+        diff = (sims.reshape(len(sims), 1) - Tensor(self._centers[None, :])) * (
+            1.0 / self._delta
+        )
+        weights = (1.0 - diff.abs()).clip_min(0.0)
+        return weights.sum(axis=0) * (1.0 / len(sims))
+
+    def __call__(self, embeddings, groups, rng=None):
+        pos_i, pos_j = positive_pairs(groups)
+        if len(pos_i) == 0:
+            raise ValueError("batch contains no positive pairs")
+        neg_mask = np.triu(negative_candidates(groups), k=1)
+        neg_i, neg_j = np.nonzero(neg_mask)
+        if len(neg_i) == 0:
+            raise ValueError("batch contains no negative pairs")
+
+        sims = embeddings @ embeddings.T
+        pos_hist = self._soft_histogram(sims[pos_i, pos_j])
+        neg_hist = self._soft_histogram(sims[neg_i, neg_j])
+        pos_cdf = pos_hist @ Tensor(self._cdf_matrix.T)
+        return (neg_hist * pos_cdf).sum()

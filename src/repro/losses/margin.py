@@ -1,0 +1,46 @@
+"""Margin loss (Wu et al., 2017) — Table 4 alternative.
+
+A relaxed contrastive loss with a learnable boundary beta:
+
+    L = max(0, alpha + y * (d - beta)),  y = +1 positive / -1 negative
+
+Here beta is kept as a fixed hyper-parameter (the paper's ablation uses the
+loss with its default settings).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import functional as F
+from .pairs import positive_pairs
+from .sampling import DistanceWeightedSampler
+
+__all__ = ["MarginLoss"]
+
+
+class MarginLoss:
+    """Callable: ``loss(embeddings, groups, rng) -> scalar Tensor``."""
+
+    name = "margin"
+
+    def __init__(self, alpha=0.2, beta=1.0, sampler=None):
+        self.alpha = alpha
+        self.beta = beta
+        # Distance-weighted sampling is the companion sampler in Wu et al.
+        self.sampler = sampler or DistanceWeightedSampler()
+
+    def __call__(self, embeddings, groups, rng=None):
+        rng = rng or np.random.default_rng()
+        pos_i, pos_j = positive_pairs(groups)
+        if len(pos_i) == 0:
+            raise ValueError("batch contains no positive pairs")
+        dist_sq = F.pairwise_squared_distances(embeddings)
+        distances = np.sqrt(np.maximum(dist_sq.data, 0.0))
+        neg_a, neg_b = self.sampler.select(distances, groups, rng)
+
+        d_pos = (dist_sq[pos_i, pos_j] + 1e-12).sqrt()
+        d_neg = (dist_sq[neg_a, neg_b] + 1e-12).sqrt()
+        pos_term = (d_pos - self.beta + self.alpha).clip_min(0.0)
+        neg_term = (self.beta - d_neg + self.alpha).clip_min(0.0)
+        return pos_term.mean() + neg_term.mean()

@@ -1,0 +1,35 @@
+"""Pair construction for metric learning.
+
+Given the batch's group ids (entity ids: sub-sequences of one entity share
+a group), positive pairs are all within-group index pairs and negative
+candidates are cross-group pairs (Section 3.3, "Batch generation").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["positive_pairs", "negative_candidates", "validate_groups"]
+
+
+def validate_groups(groups):
+    groups = np.asarray(groups)
+    if groups.ndim != 1:
+        raise ValueError("groups must be one-dimensional")
+    if len(groups) < 2:
+        raise ValueError("need at least two embeddings")
+    return groups
+
+
+def positive_pairs(groups):
+    """All index pairs ``(i, j)``, ``i < j``, with equal group ids."""
+    groups = validate_groups(groups)
+    same = groups[:, None] == groups[None, :]
+    upper = np.triu(same, k=1)
+    return np.nonzero(upper)
+
+
+def negative_candidates(groups):
+    """Boolean matrix of cross-group pairs (both orientations)."""
+    groups = validate_groups(groups)
+    return groups[:, None] != groups[None, :]

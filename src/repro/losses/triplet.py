@@ -1,0 +1,56 @@
+"""Triplet loss (Hoffer & Ailon, 2015) — Table 4 alternative.
+
+For each positive pair (anchor, positive) a negative is drawn for the
+anchor and the hinge ``max(0, d_ap - d_an + margin)`` is minimised.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import functional as F
+from .pairs import positive_pairs
+from .sampling import HardNegativeMiner
+
+__all__ = ["TripletLoss"]
+
+
+class TripletLoss:
+    """Callable: ``loss(embeddings, groups, rng) -> scalar Tensor``."""
+
+    name = "triplet"
+
+    def __init__(self, margin=0.3, sampler=None):
+        if margin <= 0:
+            raise ValueError("margin must be positive")
+        self.margin = margin
+        self.sampler = sampler or HardNegativeMiner(neg_per_anchor=1)
+
+    def __call__(self, embeddings, groups, rng=None):
+        rng = rng or np.random.default_rng()
+        pos_i, pos_j = positive_pairs(groups)
+        if len(pos_i) == 0:
+            raise ValueError("batch contains no positive pairs")
+        dist_sq = F.pairwise_squared_distances(embeddings)
+        distances = np.sqrt(np.maximum(dist_sq.data, 0.0))
+        neg_a, neg_b = self.sampler.select(distances, groups, rng)
+
+        # Map each anchor to one selected negative partner.
+        negative_of = {}
+        for a, b in zip(neg_a, neg_b):
+            negative_of.setdefault(a, b)
+        anchors, positives, negatives = [], [], []
+        for i, j in zip(pos_i, pos_j):
+            if i in negative_of:
+                anchors.append(i)
+                positives.append(j)
+                negatives.append(negative_of[i])
+        if not anchors:
+            raise ValueError("no triplets could be formed")
+        anchors = np.array(anchors)
+        positives = np.array(positives)
+        negatives = np.array(negatives)
+
+        d_ap = (dist_sq[anchors, positives] + 1e-12).sqrt()
+        d_an = (dist_sq[anchors, negatives] + 1e-12).sqrt()
+        return (d_ap - d_an + self.margin).clip_min(0.0).mean()

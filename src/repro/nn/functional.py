@@ -1,0 +1,119 @@
+"""Functional neural-network operations built on :mod:`repro.nn.tensor`.
+
+These mirror the small subset of ``torch.nn.functional`` used by the CoLES
+encoders, losses and baselines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor, concat, stack, where
+
+__all__ = [
+    "softmax",
+    "log_softmax",
+    "cross_entropy",
+    "binary_cross_entropy_with_logits",
+    "mse_loss",
+    "dropout",
+    "gelu",
+    "l2_normalize",
+    "pairwise_squared_distances",
+    "concat",
+    "stack",
+    "where",
+]
+
+
+def softmax(x, axis=-1):
+    """Numerically stable softmax along ``axis``."""
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    exp = shifted.exp()
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x, axis=-1):
+    """Numerically stable log-softmax along ``axis``."""
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def cross_entropy(logits, targets, reduction="mean"):
+    """Softmax cross-entropy for integer class ``targets``.
+
+    Parameters
+    ----------
+    logits:
+        Tensor of shape ``(N, C)``.
+    targets:
+        Integer array of shape ``(N,)``.
+    """
+    targets = np.asarray(targets)
+    logp = log_softmax(logits, axis=-1)
+    picked = logp[np.arange(len(targets)), targets]
+    loss = -picked
+    if reduction == "mean":
+        return loss.mean()
+    if reduction == "sum":
+        return loss.sum()
+    return loss
+
+
+def binary_cross_entropy_with_logits(logits, targets, reduction="mean"):
+    """Stable BCE: ``max(x,0) - x*y + log(1+exp(-|x|))``."""
+    targets = Tensor.ensure(targets)
+    relu_term = logits.clip_min(0.0)
+    abs_term = logits.abs()
+    loss = relu_term - logits * targets + ((-abs_term).exp() + 1.0).log()
+    if reduction == "mean":
+        return loss.mean()
+    if reduction == "sum":
+        return loss.sum()
+    return loss
+
+
+def mse_loss(pred, target, reduction="mean"):
+    """Mean squared error."""
+    target = Tensor.ensure(target)
+    diff = pred - target
+    loss = diff * diff
+    if reduction == "mean":
+        return loss.mean()
+    if reduction == "sum":
+        return loss.sum()
+    return loss
+
+
+def dropout(x, p, training, rng=None):
+    """Inverted dropout: at train time zero entries with prob ``p``."""
+    if not training or p <= 0.0:
+        return x
+    rng = rng or np.random.default_rng()
+    keep = (rng.random(x.data.shape) >= p) / (1.0 - p)
+    return x * Tensor(keep)
+
+
+def gelu(x):
+    """Gaussian error linear unit (tanh approximation)."""
+    inner = (x + x * x * x * 0.044715) * np.sqrt(2.0 / np.pi)
+    return x * 0.5 * (inner.tanh() + 1.0)
+
+
+def l2_normalize(x, axis=-1, eps=1e-12):
+    """Project rows of ``x`` onto the unit sphere (Section 3.3 of the paper)."""
+    norm = (x * x).sum(axis=axis, keepdims=True).clip_min(eps).sqrt()
+    return x / norm
+
+
+def pairwise_squared_distances(embeddings):
+    """All-pairs squared Euclidean distances of row vectors.
+
+    Returns a Tensor of shape ``(N, N)``; used by the metric-learning
+    losses.  For unit-norm embeddings this equals ``2 - 2 * cos`` as noted
+    in Section 3.3 of the paper.
+    """
+    sq_norms = (embeddings * embeddings).sum(axis=1, keepdims=True)
+    dots = embeddings @ embeddings.T
+    dist = sq_norms + sq_norms.T - dots * 2.0
+    return dist.clip_min(0.0)

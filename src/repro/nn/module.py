@@ -1,0 +1,208 @@
+"""Module/Parameter system: a minimal ``torch.nn.Module`` equivalent."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["Parameter", "Module", "Sequential", "ModuleList", "ModuleDict"]
+
+
+class Parameter(Tensor):
+    """A Tensor registered as a trainable leaf of a Module."""
+
+    def __init__(self, data):
+        super().__init__(data, requires_grad=True)
+        # Parameters must stay trainable even if constructed under no_grad.
+        self.requires_grad = True
+
+
+class Module:
+    """Base class with parameter registration, train/eval mode and state dicts."""
+
+    def __init__(self):
+        object.__setattr__(self, "_parameters", OrderedDict())
+        object.__setattr__(self, "_modules", OrderedDict())
+        object.__setattr__(self, "_buffers", OrderedDict())
+        object.__setattr__(self, "training", True)
+
+    def __setattr__(self, name, value):
+        if isinstance(value, Parameter):
+            self._parameters[name] = value
+        elif isinstance(value, Module):
+            self._modules[name] = value
+        object.__setattr__(self, name, value)
+
+    def register_buffer(self, name, value):
+        """Track non-trainable state (e.g. batch-norm running stats)."""
+        self._buffers[name] = np.asarray(value, dtype=np.float64)
+        object.__setattr__(self, name, self._buffers[name])
+
+    def _set_buffer(self, name, value):
+        """Update a registered buffer in place-compatible fashion."""
+        arr = np.asarray(value, dtype=np.float64)
+        self._buffers[name] = arr
+        object.__setattr__(self, name, arr)
+
+    # ------------------------------------------------------------------
+    def parameters(self):
+        """Yield all trainable parameters, depth-first, without duplicates."""
+        seen = set()
+        for param in self._parameters.values():
+            if id(param) not in seen:
+                seen.add(id(param))
+                yield param
+        for module in self._modules.values():
+            for param in module.parameters():
+                if id(param) not in seen:
+                    seen.add(id(param))
+                    yield param
+
+    def named_parameters(self, prefix=""):
+        for name, param in self._parameters.items():
+            yield prefix + name, param
+        for mod_name, module in self._modules.items():
+            yield from module.named_parameters(prefix + mod_name + ".")
+
+    def named_buffers(self, prefix=""):
+        for name, buf in self._buffers.items():
+            yield prefix + name, buf
+        for mod_name, module in self._modules.items():
+            yield from module.named_buffers(prefix + mod_name + ".")
+
+    def modules(self):
+        yield self
+        for module in self._modules.values():
+            yield from module.modules()
+
+    def zero_grad(self):
+        for param in self.parameters():
+            param.grad = None
+
+    def num_parameters(self):
+        return sum(p.data.size for p in self.parameters())
+
+    # ------------------------------------------------------------------
+    def train(self, mode=True):
+        for module in self.modules():
+            object.__setattr__(module, "training", mode)
+        return self
+
+    def eval(self):
+        return self.train(False)
+
+    # ------------------------------------------------------------------
+    def state_dict(self):
+        """Flat dict of parameter and buffer arrays (copied)."""
+        state = OrderedDict()
+        for name, param in self.named_parameters():
+            state[name] = param.data.copy()
+        for name, buf in self.named_buffers():
+            state["buffer:" + name] = buf.copy()
+        return state
+
+    def load_state_dict(self, state):
+        params = dict(self.named_parameters())
+        for name, param in params.items():
+            if name not in state:
+                raise KeyError("missing parameter %r in state dict" % name)
+            value = np.asarray(state[name], dtype=np.float64)
+            if value.shape != param.data.shape:
+                raise ValueError(
+                    "shape mismatch for %r: %s vs %s"
+                    % (name, value.shape, param.data.shape)
+                )
+            param.data = value.copy()
+        # Buffers are restored onto the owning module.
+        for name in list(state):
+            if not name.startswith("buffer:"):
+                continue
+            path = name[len("buffer:"):]
+            module = self
+            *parents, leaf = path.split(".")
+            for part in parents:
+                module = module._modules[part]
+            module._set_buffer(leaf, state[name])
+
+    # ------------------------------------------------------------------
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+
+class Sequential(Module):
+    """Apply modules one after another."""
+
+    def __init__(self, *modules):
+        super().__init__()
+        self._items = []
+        for index, module in enumerate(modules):
+            setattr(self, "m%d" % index, module)
+            self._items.append(module)
+
+    def __iter__(self):
+        return iter(self._items)
+
+    def __len__(self):
+        return len(self._items)
+
+    def forward(self, x):
+        for module in self._items:
+            x = module(x)
+        return x
+
+
+class ModuleList(Module):
+    """A list of sub-modules that registers its items."""
+
+    def __init__(self, modules=()):
+        super().__init__()
+        self._items = []
+        for module in modules:
+            self.append(module)
+
+    def append(self, module):
+        setattr(self, "m%d" % len(self._items), module)
+        self._items.append(module)
+        return self
+
+    def __iter__(self):
+        return iter(self._items)
+
+    def __len__(self):
+        return len(self._items)
+
+    def __getitem__(self, index):
+        return self._items[index]
+
+
+class ModuleDict(Module):
+    """A string-keyed mapping of sub-modules."""
+
+    def __init__(self, modules=None):
+        super().__init__()
+        self._keys = []
+        for key, module in (modules or {}).items():
+            self[key] = module
+
+    def __setitem__(self, key, module):
+        if key not in self._keys:
+            self._keys.append(key)
+        setattr(self, key, module)
+
+    def __getitem__(self, key):
+        return self._modules[key]
+
+    def __contains__(self, key):
+        return key in self._modules
+
+    def keys(self):
+        return list(self._keys)
+
+    def items(self):
+        return [(key, self._modules[key]) for key in self._keys]

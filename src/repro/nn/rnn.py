@@ -1,0 +1,166 @@
+"""Recurrent sequence encoders: GRU and LSTM with padding masks.
+
+The paper's sequence encoder phi_seq is a GRU computed by the recurrence
+``c_{t+1} = GRU(z_{t+1}, c_t)`` starting from a *learnt* c_0 (Section 3.4).
+Both cells follow the standard (PyTorch) gate conventions so that results
+are directly comparable with the reference implementation.
+
+Sequences arrive padded to a common length with a boolean mask; the hidden
+state is frozen on padded steps, which makes the final state equal to the
+state at each sequence's true last event.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import init
+from .module import Module, Parameter
+from .tensor import Tensor, where
+
+__all__ = ["GRU", "LSTM"]
+
+
+class _RecurrentBase(Module):
+    """Shared weight layout for gated RNNs: stacked input/hidden projections."""
+
+    num_gates = None
+
+    def __init__(self, input_size, hidden_size, learn_init_state=True, rng=None):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        gates = self.num_gates
+        self.weight_ih = Parameter(
+            init.xavier_uniform((gates * hidden_size, input_size), rng)
+        )
+        self.weight_hh = Parameter(
+            np.concatenate(
+                [
+                    init.orthogonal((hidden_size, hidden_size), rng)
+                    for _ in range(gates)
+                ],
+                axis=0,
+            )
+        )
+        self.bias_ih = Parameter(np.zeros(gates * hidden_size))
+        self.bias_hh = Parameter(np.zeros(gates * hidden_size))
+        if learn_init_state:
+            self.init_state = Parameter(np.zeros(hidden_size))
+        else:
+            self.init_state = None
+
+    def initial_state(self, batch_size):
+        """Initial hidden state ``c_0`` broadcast over the batch."""
+        if self.init_state is not None:
+            ones = Tensor(np.ones((batch_size, 1)))
+            return ones @ self.init_state.reshape(1, self.hidden_size)
+        return Tensor(np.zeros((batch_size, self.hidden_size)))
+
+    def _gate_chunks(self, x_t, hidden):
+        """Input and hidden projections split per gate."""
+        xi = x_t @ self.weight_ih.T + self.bias_ih
+        hi = hidden @ self.weight_hh.T + self.bias_hh
+        size = self.hidden_size
+        x_parts = [xi[:, i * size:(i + 1) * size] for i in range(self.num_gates)]
+        h_parts = [hi[:, i * size:(i + 1) * size] for i in range(self.num_gates)]
+        return x_parts, h_parts
+
+
+class GRU(_RecurrentBase):
+    """Gated recurrent unit (Cho et al., 2014)."""
+
+    num_gates = 3
+
+    def step(self, x_t, hidden):
+        """One recurrence step: ``(B, D), (B, H) -> (B, H)``."""
+        (xr, xz, xn), (hr, hz, hn) = self._gate_chunks(x_t, hidden)
+        reset = (xr + hr).sigmoid()
+        update = (xz + hz).sigmoid()
+        candidate = (xn + reset * hn).tanh()
+        return (1.0 - update) * candidate + update * hidden
+
+    def forward(self, x, mask=None, initial=None):
+        """Run over a padded batch.
+
+        Parameters
+        ----------
+        x:
+            Tensor of shape ``(B, T, D)``.
+        mask:
+            Optional boolean array ``(B, T)``; False entries freeze the state.
+        initial:
+            Optional ``(B, H)`` starting state overriding the learnt c_0.
+
+        Returns
+        -------
+        (outputs, last) where outputs has shape ``(B, T, H)`` and last
+        is the state after each sequence's final real event, ``(B, H)``.
+        """
+        batch, steps, _ = x.shape
+        hidden = initial if initial is not None else self.initial_state(batch)
+        per_step = []
+        for t in range(steps):
+            new_hidden = self.step(x[:, t, :], hidden)
+            if mask is not None:
+                hidden = where(mask[:, t:t + 1], new_hidden, hidden)
+            else:
+                hidden = new_hidden
+            per_step.append(hidden)
+        from .tensor import stack
+
+        return stack(per_step, axis=1), hidden
+
+
+class LSTM(_RecurrentBase):
+    """Long short-term memory (Hochreiter & Schmidhuber, 1997)."""
+
+    num_gates = 4
+
+    def __init__(self, input_size, hidden_size, learn_init_state=True, rng=None):
+        super().__init__(input_size, hidden_size, learn_init_state, rng)
+        if learn_init_state:
+            self.init_cell = Parameter(np.zeros(hidden_size))
+        else:
+            self.init_cell = None
+
+    def initial_cell(self, batch_size):
+        if self.init_cell is not None:
+            ones = Tensor(np.ones((batch_size, 1)))
+            return ones @ self.init_cell.reshape(1, self.hidden_size)
+        return Tensor(np.zeros((batch_size, self.hidden_size)))
+
+    def step(self, x_t, state):
+        """One recurrence step on ``state = (hidden, cell)``."""
+        hidden, cell = state
+        (xi, xf, xg, xo), (hi, hf, hg, ho) = self._gate_chunks(x_t, hidden)
+        in_gate = (xi + hi).sigmoid()
+        forget = (xf + hf).sigmoid()
+        candidate = (xg + hg).tanh()
+        out_gate = (xo + ho).sigmoid()
+        new_cell = forget * cell + in_gate * candidate
+        new_hidden = out_gate * new_cell.tanh()
+        return new_hidden, new_cell
+
+    def forward(self, x, mask=None, initial=None):
+        """Same contract as :meth:`GRU.forward`."""
+        batch, steps, _ = x.shape
+        if initial is not None:
+            hidden, cell = initial
+        else:
+            hidden = self.initial_state(batch)
+            cell = self.initial_cell(batch)
+        per_step = []
+        for t in range(steps):
+            new_hidden, new_cell = self.step(x[:, t, :], (hidden, cell))
+            if mask is not None:
+                step_mask = mask[:, t:t + 1]
+                hidden = where(step_mask, new_hidden, hidden)
+                cell = where(step_mask, new_cell, cell)
+            else:
+                hidden, cell = new_hidden, new_cell
+            per_step.append(hidden)
+        from .tensor import stack
+
+        return stack(per_step, axis=1), hidden

@@ -1,0 +1,21 @@
+"""Save/load model state dicts as ``.npz`` archives."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["save_state", "load_state"]
+
+
+def save_state(module, path):
+    """Write ``module.state_dict()`` to ``path`` (npz)."""
+    state = module.state_dict()
+    np.savez(path, **{key: value for key, value in state.items()})
+
+
+def load_state(module, path):
+    """Load an npz state dict produced by :func:`save_state` into ``module``."""
+    with np.load(path) as archive:
+        state = {key: archive[key] for key in archive.files}
+    module.load_state_dict(state)
+    return module

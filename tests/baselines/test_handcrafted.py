@@ -1,0 +1,97 @@
+"""Tests for hand-crafted aggregate features (Section 4.1.2)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import FeatureMatrix, handcrafted_features
+from repro.data import EventSchema, EventSequence, SequenceDataset
+
+SCHEMA = EventSchema(categorical={"mcc": 4}, numerical=("amount",))
+
+
+def dataset_with(amounts, mccs):
+    seq = EventSequence(
+        0,
+        {
+            "event_time": np.arange(len(amounts), dtype=float),
+            "mcc": np.array(mccs),
+            "amount": np.array(amounts, dtype=float),
+        },
+        label=0,
+    )
+    return SequenceDataset([seq], SCHEMA)
+
+
+class TestFeatureMatrix:
+    def test_width_checked(self):
+        with pytest.raises(ValueError):
+            FeatureMatrix(np.zeros((2, 3)), ["a", "b"])
+
+    def test_concat_matrices(self):
+        a = FeatureMatrix(np.ones((2, 2)), ["x", "y"])
+        b = FeatureMatrix(np.zeros((2, 1)), ["z"])
+        merged = a.concat(b)
+        assert merged.shape == (2, 3)
+        assert merged.names == ["x", "y", "z"]
+
+    def test_concat_raw_array_names_generated(self):
+        a = FeatureMatrix(np.ones((2, 1)), ["x"])
+        merged = a.concat(np.zeros((2, 3)))
+        assert merged.names == ["x", "emb_0", "emb_1", "emb_2"]
+
+
+class TestHandcrafted:
+    def test_global_aggregates_correct(self):
+        features = handcrafted_features(dataset_with([1, 2, 3], [1, 2, 3]))
+        values = dict(zip(features.names, features.values[0]))
+        assert values["amount_sum"] == 6
+        assert values["amount_mean"] == 2
+        assert values["amount_min"] == 1
+        assert values["amount_max"] == 3
+        np.testing.assert_allclose(values["amount_std"], np.std([1, 2, 3]))
+
+    def test_activity_statistics(self):
+        features = handcrafted_features(dataset_with([1, 1, 1, 1], [1, 1, 2, 2]))
+        values = dict(zip(features.names, features.values[0]))
+        assert values["length"] == 4
+        assert values["duration"] == 3.0
+        np.testing.assert_allclose(values["events_per_day"], 4 / 3.0)
+
+    def test_groupwise_aggregates(self):
+        """'mean amount for the specific MCC code' — the paper's example."""
+        features = handcrafted_features(dataset_with([10, 20, 300], [1, 1, 2]))
+        values = dict(zip(features.names, features.values[0]))
+        np.testing.assert_allclose(values["mcc_1_count"], 2 / 3)
+        np.testing.assert_allclose(values["mcc_1_amount_mean"], 15.0)
+        np.testing.assert_allclose(values["mcc_2_amount_mean"], 300.0)
+        assert values["mcc_3_count"] == 0.0
+        assert values["mcc_3_amount_mean"] == 0.0  # empty group -> 0
+
+    def test_group_fields_restriction(self):
+        ds = dataset_with([1, 2], [1, 2])
+        restricted = handcrafted_features(ds, group_fields=())
+        full = handcrafted_features(ds)
+        assert restricted.shape[1] < full.shape[1]
+        assert not any("mcc" in name for name in restricted.names)
+
+    def test_unknown_group_field_raises(self):
+        with pytest.raises(ValueError):
+            handcrafted_features(dataset_with([1], [1]), group_fields=("bad",))
+
+    def test_feature_count_formula(self):
+        ds = dataset_with([1, 2], [1, 2])
+        features = handcrafted_features(ds)
+        # 3 activity + 5 amount aggregates + 3 codes * (count + mean).
+        assert features.shape == (1, 3 + 5 + 3 * 2)
+
+    def test_features_discriminate_classes(self):
+        """Features must carry the synthetic worlds' label signal."""
+        from repro.data.synthetic import make_age_dataset
+
+        ds = make_age_dataset(num_clients=120, labeled_fraction=1.0, seed=0)
+        features = handcrafted_features(ds)
+        labels = ds.label_array()
+        # Class-conditional means of the amount_mean feature must spread.
+        col = features.names.index("amount_mean")
+        per_class = [features.values[labels == c, col].mean() for c in range(4)]
+        assert max(per_class) - min(per_class) > 1.0

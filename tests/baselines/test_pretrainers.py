@@ -1,0 +1,218 @@
+"""Tests for the self-supervised baselines: CPC, NSP, SOP, RTD and the
+supervised classifier used for fine-tuning."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    CPC,
+    NSP,
+    RTD,
+    SOP,
+    FineTuneConfig,
+    PretrainConfig,
+    SequenceClassifier,
+    corrupt_batch,
+    random_slice_pair,
+    truncate_tail,
+)
+from repro.data import collate
+from repro.data.synthetic import make_churn_dataset
+from repro.encoders import build_encoder
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_churn_dataset(num_clients=30, mean_length=40, min_length=20,
+                              max_length=60, labeled_fraction=1.0, seed=0)
+
+
+FAST = PretrainConfig(num_epochs=2, batch_size=8, learning_rate=0.01,
+                      max_seq_length=50, seed=0)
+
+
+class TestHelpers:
+    def test_truncate_tail_keeps_recent(self, dataset):
+        seq = dataset[0]
+        cut = truncate_tail(seq, 10)
+        assert len(cut) == min(10, len(seq))
+        np.testing.assert_allclose(
+            cut.fields["event_time"], seq.fields["event_time"][-len(cut):]
+        )
+
+    def test_truncate_noop_when_short(self, dataset):
+        seq = dataset[0]
+        assert truncate_tail(seq, 10_000) is seq
+
+    def test_random_slice_pair_consecutive(self, dataset):
+        rng = np.random.default_rng(0)
+        pair = random_slice_pair(dataset[0], rng)
+        assert pair is not None
+        a, b = pair
+        assert a.fields["event_time"][-1] <= b.fields["event_time"][0]
+
+    def test_random_slice_pair_too_short(self):
+        seq = dataset_seq = make_churn_dataset(num_clients=1, mean_length=15,
+                                               min_length=15, max_length=15,
+                                               seed=1)[0]
+        assert random_slice_pair(seq.slice(0, 5), np.random.default_rng(0)) is None
+
+
+class TestCPC:
+    def test_validation(self, dataset):
+        with pytest.raises(ValueError):
+            CPC(dataset.schema, num_horizons=0)
+
+    def test_fit_loss_decreases(self, dataset):
+        cpc = CPC(dataset.schema, hidden_size=12, num_horizons=2, seed=0)
+        config = PretrainConfig(num_epochs=4, batch_size=8, learning_rate=0.01,
+                                max_seq_length=40, seed=0)
+        cpc.fit(dataset, config)
+        assert len(cpc.history) == 4
+        assert cpc.history[-1] < cpc.history[0]
+
+    def test_embed_shape(self, dataset):
+        cpc = CPC(dataset.schema, hidden_size=12, num_horizons=2, seed=0)
+        cpc.fit(dataset, FAST)
+        emb = cpc.embed(dataset)
+        assert emb.shape == (len(dataset), 12)
+        assert np.isfinite(emb).all()
+
+    def test_info_nce_better_than_chance_after_training(self, dataset):
+        """After fitting, InfoNCE loss should beat log(batch) (chance)."""
+        cpc = CPC(dataset.schema, hidden_size=12, num_horizons=2, seed=0)
+        config = PretrainConfig(num_epochs=5, batch_size=8, learning_rate=0.01,
+                                max_seq_length=40, seed=0)
+        cpc.fit(dataset, config)
+        assert cpc.history[-1] < np.log(8)
+
+
+class TestPairTasks:
+    @pytest.mark.parametrize("cls", [NSP, SOP])
+    def test_fit_and_embed(self, cls, dataset):
+        encoder = build_encoder(dataset.schema, 12, "gru",
+                                rng=np.random.default_rng(0))
+        model = cls(encoder, dataset.schema, seed=0)
+        model.fit(dataset, FAST)
+        assert len(model.history) == 2
+        assert np.isfinite(model.history).all()
+        emb = model.embed(dataset)
+        assert emb.shape == (len(dataset), 12)
+
+    def test_nsp_pair_semantics(self, dataset):
+        """Positive pairs are consecutive; negatives come from other seqs."""
+        encoder = build_encoder(dataset.schema, 8, "gru",
+                                rng=np.random.default_rng(1))
+        model = NSP(encoder, dataset.schema, seed=0)
+        rng = np.random.default_rng(0)
+        first, second, labels = model._make_pairs(dataset.sequences[:12], rng)
+        for a, b, label in zip(first, second, labels):
+            if label == 1.0:
+                assert a.seq_id == b.seq_id
+                assert a.fields["event_time"][-1] <= b.fields["event_time"][0]
+            else:
+                assert a.seq_id != b.seq_id
+
+    def test_sop_pair_semantics(self, dataset):
+        """SOP pairs always share the entity; the label encodes order."""
+        encoder = build_encoder(dataset.schema, 8, "gru",
+                                rng=np.random.default_rng(1))
+        model = SOP(encoder, dataset.schema, seed=0)
+        rng = np.random.default_rng(0)
+        first, second, labels = model._make_pairs(dataset.sequences[:12], rng)
+        assert set(labels) == {0.0, 1.0}
+        for a, b, label in zip(first, second, labels):
+            assert a.seq_id == b.seq_id
+            in_order = a.fields["event_time"][-1] <= b.fields["event_time"][0]
+            assert in_order == bool(label)
+
+    def test_nsp_loss_stays_near_or_below_chance(self, dataset):
+        """NSP is a weak, noisy objective at toy scale (it also trails in
+        the paper's Table 6); we only require it not to diverge."""
+        encoder = build_encoder(dataset.schema, 12, "gru",
+                                rng=np.random.default_rng(1))
+        model = NSP(encoder, dataset.schema, seed=0)
+        config = PretrainConfig(num_epochs=6, batch_size=10,
+                                learning_rate=0.005, max_seq_length=50, seed=0)
+        model.fit(dataset, config)
+        assert model.history[-1] < np.log(2) + 0.15
+
+
+class TestRTD:
+    def test_corrupt_batch_properties(self, dataset):
+        batch = collate(dataset.sequences[:6], dataset.schema)
+        rng = np.random.default_rng(0)
+        fields, replaced = corrupt_batch(batch, dataset.schema, 0.3, rng)
+        # Times untouched, replacements only at valid positions.
+        np.testing.assert_array_equal(fields["event_time"],
+                                      batch.fields["event_time"])
+        assert replaced.sum() > 0
+        assert not replaced[~batch.mask].any()
+        frac = replaced[batch.mask].mean()
+        assert 0.15 < frac < 0.45
+
+    def test_corrupt_actually_changes_fields(self, dataset):
+        batch = collate(dataset.sequences[:6], dataset.schema)
+        rng = np.random.default_rng(1)
+        fields, replaced = corrupt_batch(batch, dataset.schema, 0.3, rng)
+        rows, cols = np.nonzero(replaced)
+        changed = 0
+        for r, c in zip(rows, cols):
+            for name in ("mcc", "trx_type", "amount"):
+                if fields[name][r, c] != batch.fields[name][r, c]:
+                    changed += 1
+                    break
+        # Donor events usually differ in at least one field.
+        assert changed > 0.5 * len(rows)
+
+    def test_replace_prob_validated(self, dataset):
+        batch = collate(dataset.sequences[:2], dataset.schema)
+        with pytest.raises(ValueError):
+            corrupt_batch(batch, dataset.schema, 0.0, np.random.default_rng(0))
+
+    def test_single_row_batch_uncorrupted(self, dataset):
+        batch = collate(dataset.sequences[:1], dataset.schema)
+        _, replaced = corrupt_batch(batch, dataset.schema, 0.5,
+                                    np.random.default_rng(0))
+        assert not replaced.any()
+
+    def test_fit_loss_decreases(self, dataset):
+        rtd = RTD(dataset.schema, hidden_size=12, seed=0)
+        config = PretrainConfig(num_epochs=4, batch_size=8, learning_rate=0.01,
+                                max_seq_length=40, seed=0)
+        rtd.fit(dataset, config)
+        assert rtd.history[-1] < rtd.history[0]
+        assert rtd.embed(dataset).shape == (len(dataset), 12)
+
+
+class TestSequenceClassifier:
+    def test_validation(self, dataset):
+        encoder = build_encoder(dataset.schema, 8, "gru")
+        with pytest.raises(ValueError):
+            SequenceClassifier(encoder, num_classes=1)
+
+    def test_fit_improves_accuracy(self, dataset):
+        encoder = build_encoder(dataset.schema, 16, "gru",
+                                rng=np.random.default_rng(2))
+        clf = SequenceClassifier(encoder, num_classes=2, seed=0)
+        labels = dataset.label_array()
+        before = (clf.predict(dataset) == labels).mean()
+        clf.fit(dataset, FineTuneConfig(num_epochs=10, batch_size=10,
+                                        learning_rate=0.01, seed=0))
+        after = (clf.predict(dataset) == labels).mean()
+        assert after >= max(before, 0.6)
+        assert clf.history[-1] < clf.history[0]
+
+    def test_predict_proba_is_distribution(self, dataset):
+        encoder = build_encoder(dataset.schema, 8, "gru")
+        clf = SequenceClassifier(encoder, num_classes=2)
+        probs = clf.predict_proba(dataset)
+        assert probs.shape == (len(dataset), 2)
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(len(dataset)))
+
+    def test_unlabeled_dataset_raises(self):
+        ds = make_churn_dataset(num_clients=10, labeled_fraction=0.0, seed=0)
+        encoder = build_encoder(ds.schema, 8, "gru")
+        clf = SequenceClassifier(encoder, num_classes=2)
+        with pytest.raises(ValueError):
+            clf.fit(ds)

@@ -1,0 +1,97 @@
+"""End-to-end tests of the CoLES facade: the paper's core claims at toy
+scale — embeddings separate latent classes and support downstream models."""
+
+import numpy as np
+import pytest
+
+from repro.core import CoLES
+from repro.data.synthetic import make_age_dataset, make_churn_dataset
+
+
+@pytest.fixture(scope="module")
+def churn():
+    return make_age_dataset(num_clients=60, mean_length=60, min_length=30,
+                            max_length=90, labeled_fraction=1.0, seed=1)
+
+
+@pytest.fixture(scope="module")
+def fitted_model(churn):
+    model = CoLES(churn.schema, hidden_size=24, min_length=5, max_length=60,
+                  num_samples=5, seed=0)
+    model.fit(churn, num_epochs=8, batch_size=12, learning_rate=0.01)
+    return model
+
+
+class TestConstruction:
+    def test_registry_names_resolve(self, churn):
+        for loss in ("contrastive", "binomial_deviance", "triplet",
+                     "histogram", "margin"):
+            CoLES(churn.schema, hidden_size=8, loss=loss)
+        for sampler in ("random", "hard", "distance_weighted"):
+            CoLES(churn.schema, hidden_size=8, sampler=sampler)
+        for strategy in ("random_slices", "random_samples", "random_disjoint"):
+            CoLES(churn.schema, hidden_size=8, strategy=strategy)
+        for enc in ("gru", "lstm", "transformer"):
+            CoLES(churn.schema, hidden_size=8, encoder_type=enc)
+
+    def test_unknown_names_raise(self, churn):
+        with pytest.raises(KeyError):
+            CoLES(churn.schema, loss="nce")
+        with pytest.raises(KeyError):
+            CoLES(churn.schema, sampler="semi-hard")
+        with pytest.raises(KeyError):
+            CoLES(churn.schema, strategy="shuffle")
+
+
+class TestTrainingAndEmbedding:
+    def test_loss_decreases(self, fitted_model):
+        history = fitted_model.history
+        assert history[-1].mean_loss < history[0].mean_loss
+
+    def test_embeddings_unit_norm(self, fitted_model, churn):
+        emb = fitted_model.embed(churn)
+        assert emb.shape == (len(churn), 24)
+        np.testing.assert_allclose(np.linalg.norm(emb, axis=1),
+                                   np.ones(len(churn)), rtol=1e-8)
+
+    def test_same_class_closer_than_cross_class(self, fitted_model, churn):
+        """The contrastive objective's intended geometry (Section 3.1):
+        embeddings of same-process sequences are closer."""
+        emb = fitted_model.embed(churn)
+        labels = churn.label_array()
+        sims = emb @ emb.T
+        same = sims[labels[:, None] == labels[None, :]]
+        diff = sims[labels[:, None] != labels[None, :]]
+        # Exclude the diagonal from the same-class statistics.
+        same_mean = (same.sum() - len(emb)) / (len(same) - len(emb))
+        assert same_mean > diff.mean() + 0.02
+
+    def test_embedding_is_deterministic_after_fit(self, fitted_model, churn):
+        a = fitted_model.embed(churn)
+        b = fitted_model.embed(churn)
+        np.testing.assert_allclose(a, b)
+
+    def test_save_load_roundtrip(self, fitted_model, churn, tmp_path):
+        path = tmp_path / "coles.npz"
+        fitted_model.save(path)
+        clone = CoLES(churn.schema, hidden_size=24, seed=0)
+        clone.load(path)
+        np.testing.assert_allclose(clone.embed(churn), fitted_model.embed(churn))
+
+    def test_fit_on_unlabeled_data(self):
+        """Self-supervision must not require labels."""
+        ds = make_age_dataset(num_clients=30, labeled_fraction=0.0, seed=2)
+        model = CoLES(ds.schema, hidden_size=8, min_length=5, max_length=40)
+        model.fit(ds, num_epochs=1, batch_size=8)
+        assert model.embed(ds).shape == (30, 8)
+
+    def test_fine_tune_convenience(self, fitted_model, churn):
+        """model.fine_tune attaches a head and improves over chance."""
+        classifier = fitted_model.fine_tune(churn, num_epochs=6,
+                                            batch_size=16,
+                                            learning_rate=0.01)
+        labels = churn.label_array()
+        accuracy = (classifier.predict(churn) == labels).mean()
+        assert accuracy > 0.4  # 4 classes, chance 0.25
+        # The returned classifier shares the CoLES encoder.
+        assert classifier.encoder is fitted_model.encoder

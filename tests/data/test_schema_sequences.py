@@ -1,0 +1,119 @@
+"""Tests for EventSchema, EventSequence and SequenceDataset."""
+
+import numpy as np
+import pytest
+
+from repro.data import EventSchema, EventSequence, SequenceDataset
+
+
+def make_sequence(seq_id=0, length=5, label=None):
+    return EventSequence(
+        seq_id=seq_id,
+        fields={
+            "event_time": np.arange(length, dtype=float),
+            "mcc": np.arange(length) % 3 + 1,
+            "amount": np.ones(length) * 2.0,
+        },
+        label=label,
+    )
+
+
+SCHEMA = EventSchema(categorical={"mcc": 4}, numerical=("amount",))
+
+
+class TestSchema:
+    def test_field_names_order(self):
+        assert SCHEMA.field_names == ("event_time", "mcc", "amount")
+
+    def test_overlapping_fields_rejected(self):
+        with pytest.raises(ValueError):
+            EventSchema(categorical={"a": 3}, numerical=("a",))
+
+    def test_time_field_collision_rejected(self):
+        with pytest.raises(ValueError):
+            EventSchema(categorical={"event_time": 3})
+
+    def test_cardinality_must_cover_padding(self):
+        with pytest.raises(ValueError):
+            EventSchema(categorical={"a": 1})
+
+    def test_validate_missing_field(self):
+        seq = make_sequence()
+        del seq.fields["amount"]
+        with pytest.raises(KeyError):
+            SCHEMA.validate_sequence(seq.fields, len(seq))
+
+    def test_validate_out_of_range_code(self):
+        seq = make_sequence()
+        seq.fields["mcc"] = np.zeros(5, dtype=int)  # 0 is reserved
+        with pytest.raises(ValueError):
+            SCHEMA.validate_sequence(seq.fields, 5)
+
+    def test_validate_length_mismatch(self):
+        seq = make_sequence()
+        with pytest.raises(ValueError):
+            SCHEMA.validate_sequence(seq.fields, 7)
+
+
+class TestEventSequence:
+    def test_len(self):
+        assert len(make_sequence(length=7)) == 7
+
+    def test_mismatched_field_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            EventSequence(0, {"a": np.ones(3), "b": np.ones(4)})
+
+    def test_slice_keeps_identity(self):
+        seq = make_sequence(seq_id=42, label=1)
+        part = seq.slice(1, 4)
+        assert part.seq_id == 42
+        assert part.label == 1
+        assert len(part) == 3
+        np.testing.assert_allclose(part.fields["event_time"], [1, 2, 3])
+
+    def test_slice_bounds_checked(self):
+        seq = make_sequence(length=5)
+        with pytest.raises(IndexError):
+            seq.slice(2, 9)
+        with pytest.raises(IndexError):
+            seq.slice(-1, 3)
+
+    def test_take_non_contiguous(self):
+        seq = make_sequence(length=6)
+        part = seq.take([0, 2, 5])
+        np.testing.assert_allclose(part.fields["event_time"], [0, 2, 5])
+
+    def test_is_labeled(self):
+        assert make_sequence(label=0).is_labeled
+        assert not make_sequence().is_labeled
+
+
+class TestSequenceDataset:
+    def test_labeled_unlabeled_partition(self):
+        seqs = [make_sequence(i, label=(i if i % 2 else None)) for i in range(10)]
+        ds = SequenceDataset(seqs, SCHEMA)
+        assert len(ds.labeled()) + len(ds.unlabeled()) == 10
+        assert all(s.is_labeled for s in ds.labeled())
+        assert not any(s.is_labeled for s in ds.unlabeled())
+
+    def test_label_array_raises_on_unlabeled(self):
+        ds = SequenceDataset([make_sequence(0)], SCHEMA)
+        with pytest.raises(ValueError):
+            ds.label_array()
+
+    def test_index_with_array_returns_dataset(self):
+        seqs = [make_sequence(i) for i in range(5)]
+        ds = SequenceDataset(seqs, SCHEMA)
+        sub = ds[np.array([0, 3])]
+        assert isinstance(sub, SequenceDataset)
+        assert len(sub) == 2
+        assert sub[1].seq_id == 3
+
+    def test_validate_passes_on_good_data(self):
+        ds = SequenceDataset([make_sequence(i) for i in range(3)], SCHEMA)
+        assert ds.validate() is ds
+
+    def test_summary_mentions_counts(self):
+        ds = SequenceDataset([make_sequence(0, label=1)], SCHEMA, name="toy")
+        text = ds.summary()
+        assert "toy" in text and "1 sequences" in text and "1 labeled" in text

@@ -1,0 +1,171 @@
+"""Tests for TrxEncoder and the three sequence encoders."""
+
+import numpy as np
+import pytest
+
+from repro.data import EventSchema, EventSequence, collate
+from repro.encoders import (
+    RnnSeqEncoder,
+    TransformerSeqEncoder,
+    TrxEncoder,
+    build_encoder,
+    default_embedding_dim,
+)
+from repro.nn import Adam
+
+SCHEMA = EventSchema(
+    categorical={"mcc": 8, "trx_type": 4},
+    numerical=("amount",),
+)
+
+
+def make_batch(lengths=(5, 3), seed=0):
+    rng = np.random.default_rng(seed)
+    sequences = []
+    for i, length in enumerate(lengths):
+        sequences.append(
+            EventSequence(
+                seq_id=i,
+                fields={
+                    "event_time": np.cumsum(rng.random(length)),
+                    "mcc": rng.integers(1, 8, length),
+                    "trx_type": rng.integers(1, 4, length),
+                    "amount": np.exp(rng.normal(3, 1, length)),
+                },
+                label=i % 2,
+            )
+        )
+    return collate(sequences, SCHEMA)
+
+
+class TestTrxEncoder:
+    def test_output_shape(self):
+        enc = TrxEncoder(SCHEMA, rng=np.random.default_rng(0))
+        batch = make_batch((5, 3))
+        out = enc(batch)
+        assert out.shape == (2, 5, enc.output_dim)
+
+    def test_output_dim_accounts_for_all_fields(self):
+        enc = TrxEncoder(
+            SCHEMA, embedding_dims={"mcc": 6, "trx_type": 3},
+            rng=np.random.default_rng(0),
+        )
+        # 6 + 3 embeddings + amount + time delta
+        assert enc.output_dim == 6 + 3 + 2
+
+    def test_no_time_delta(self):
+        enc = TrxEncoder(SCHEMA, use_time_delta=False, rng=np.random.default_rng(0))
+        base = TrxEncoder(SCHEMA, use_time_delta=True, rng=np.random.default_rng(0))
+        assert enc.output_dim == base.output_dim - 1
+
+    def test_default_embedding_dim_monotone(self):
+        assert default_embedding_dim(3) <= default_embedding_dim(100)
+        assert default_embedding_dim(100000) == 16
+
+    def test_schema_type_checked(self):
+        with pytest.raises(TypeError):
+            TrxEncoder({"mcc": 8})
+
+    def test_bad_transform_rejected(self):
+        with pytest.raises(ValueError):
+            TrxEncoder(SCHEMA, numeric_transform="sqrt")
+
+    def test_log_transform_compresses_amounts(self):
+        enc = TrxEncoder(SCHEMA, rng=np.random.default_rng(0))
+        batch = make_batch((4, 4))
+        batch.fields["amount"][0, 0] = 1e6
+        numeric = enc._numeric_array(batch)
+        assert numeric[0, 0, 0] < 20  # log1p keeps magnitudes sane
+
+    def test_time_delta_feature(self):
+        enc = TrxEncoder(SCHEMA, rng=np.random.default_rng(0))
+        batch = make_batch((4, 4))
+        numeric = enc._numeric_array(batch)
+        times = batch.fields["event_time"]
+        expected_first = np.log1p(0.0)
+        np.testing.assert_allclose(numeric[:, 0, 1], expected_first)
+        np.testing.assert_allclose(
+            numeric[0, 1, 1], np.log1p(times[0, 1] - times[0, 0])
+        )
+
+    def test_gradients_reach_embeddings(self):
+        enc = TrxEncoder(SCHEMA, rng=np.random.default_rng(0))
+        out = enc(make_batch((3, 3)))
+        out.sum().backward()
+        for name, param in enc.named_parameters():
+            assert param.grad is not None, name
+
+
+ENCODER_TYPES = ["gru", "lstm", "transformer"]
+
+
+class TestSeqEncoders:
+    @pytest.mark.parametrize("encoder_type", ENCODER_TYPES)
+    def test_embed_shape_and_unit_norm(self, encoder_type):
+        enc = build_encoder(SCHEMA, 12, encoder_type,
+                            rng=np.random.default_rng(0))
+        enc.eval()
+        emb = enc.embed(make_batch((6, 4)))
+        assert emb.shape == (2, 12)
+        np.testing.assert_allclose(
+            np.linalg.norm(emb.data, axis=1), np.ones(2), rtol=1e-9
+        )
+
+    @pytest.mark.parametrize("encoder_type", ENCODER_TYPES)
+    def test_states_shape(self, encoder_type):
+        enc = build_encoder(SCHEMA, 12, encoder_type,
+                            rng=np.random.default_rng(0))
+        enc.eval()
+        states, _ = enc(make_batch((6, 4)))
+        assert states.shape == (2, 6, 12)
+
+    def test_normalize_false_keeps_raw(self):
+        enc = build_encoder(SCHEMA, 8, "gru", normalize=False,
+                            rng=np.random.default_rng(0))
+        enc.eval()
+        emb = enc.embed(make_batch((5, 5)))
+        norms = np.linalg.norm(emb.data, axis=1)
+        assert not np.allclose(norms, 1.0)
+
+    def test_padding_does_not_affect_embedding(self):
+        """A sequence batched with a longer one must embed identically."""
+        enc = build_encoder(SCHEMA, 8, "gru", rng=np.random.default_rng(1))
+        enc.eval()
+        batch_long = make_batch((8, 3), seed=5)
+        emb_padded = enc.embed(batch_long).data[1]
+        # Rebuild the short sequence alone (no padding).
+        short = EventSequence(
+            1,
+            {name: batch_long.fields[name][1, :3] for name in batch_long.fields},
+            label=None,
+        )
+        solo = collate([short], SCHEMA)
+        emb_solo = enc.embed(solo).data[0]
+        np.testing.assert_allclose(emb_padded, emb_solo, rtol=1e-8)
+
+    def test_unknown_cell_rejected(self):
+        trx = TrxEncoder(SCHEMA, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            RnnSeqEncoder(trx, 8, cell="rnn")
+
+    def test_unknown_encoder_type_rejected(self):
+        with pytest.raises(ValueError):
+            build_encoder(SCHEMA, 8, "cnn")
+
+    def test_end_to_end_training_step(self):
+        enc = build_encoder(SCHEMA, 8, "gru", rng=np.random.default_rng(2))
+        opt = Adam(enc.parameters(), lr=0.01)
+        emb = enc.embed(make_batch((5, 5)))
+        loss = (emb * emb).sum()
+        opt.zero_grad()
+        loss.backward()
+        opt.step()  # must not raise; parameters updated
+
+    @pytest.mark.parametrize("encoder_type", ENCODER_TYPES)
+    def test_eval_deterministic(self, encoder_type):
+        enc = build_encoder(SCHEMA, 8, encoder_type, rng=np.random.default_rng(3))
+        enc.eval()
+        batch = make_batch((4, 4))
+        a = enc.embed(batch).data
+        b = enc.embed(batch).data
+        np.testing.assert_allclose(a, b)

@@ -1,0 +1,125 @@
+"""Tests for evaluation metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval import (
+    accuracy,
+    auroc,
+    evaluate_predictions,
+    kl_divergence,
+    mean_std,
+    task_metric,
+)
+
+
+class TestAccuracy:
+    def test_basic(self):
+        assert accuracy([1, 0, 1], [1, 1, 1]) == pytest.approx(2 / 3)
+
+    def test_perfect(self):
+        assert accuracy([0, 1, 2], [0, 1, 2]) == 1.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy([1, 0], [1])
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            accuracy([], [])
+
+
+class TestAUROC:
+    def test_perfect_ranking(self):
+        assert auroc([0, 0, 1, 1], [0.1, 0.2, 0.8, 0.9]) == 1.0
+
+    def test_inverted_ranking(self):
+        assert auroc([0, 0, 1, 1], [0.9, 0.8, 0.2, 0.1]) == 0.0
+
+    def test_random_scores_near_half(self):
+        rng = np.random.default_rng(0)
+        targets = rng.integers(0, 2, 2000)
+        scores = rng.random(2000)
+        assert abs(auroc(targets, scores) - 0.5) < 0.05
+
+    def test_ties_average(self):
+        # All scores equal: AUROC must be exactly 0.5 by tie handling.
+        assert auroc([0, 1, 0, 1], [0.5, 0.5, 0.5, 0.5]) == 0.5
+
+    def test_single_class_raises(self):
+        with pytest.raises(ValueError):
+            auroc([1, 1], [0.1, 0.9])
+
+    def test_matches_pairwise_definition(self):
+        rng = np.random.default_rng(1)
+        targets = rng.integers(0, 2, 50)
+        targets[:2] = [0, 1]
+        scores = rng.random(50)
+        pos = scores[targets == 1]
+        neg = scores[targets == 0]
+        wins = (pos[:, None] > neg[None, :]).sum()
+        ties = (pos[:, None] == neg[None, :]).sum()
+        expected = (wins + 0.5 * ties) / (len(pos) * len(neg))
+        assert auroc(targets, scores) == pytest.approx(expected)
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_invariant_to_monotone_transform(self, seed):
+        rng = np.random.default_rng(seed)
+        targets = rng.integers(0, 2, 30)
+        if len(np.unique(targets)) < 2:
+            return
+        scores = rng.standard_normal(30)
+        a = auroc(targets, scores)
+        b = auroc(targets, np.exp(scores))  # strictly monotone
+        assert a == pytest.approx(b)
+
+
+class TestKL:
+    def test_zero_for_identical(self):
+        p = np.array([0.5, 0.5])
+        assert kl_divergence(p, p) == pytest.approx(0.0, abs=1e-9)
+
+    def test_positive_for_different(self):
+        assert kl_divergence([0.9, 0.1], [0.1, 0.9]) > 0.5
+
+    def test_asymmetric(self):
+        a = kl_divergence([0.9, 0.1], [0.5, 0.5])
+        b = kl_divergence([0.5, 0.5], [0.9, 0.1])
+        assert a != pytest.approx(b)
+
+    def test_handles_zero_counts(self):
+        value = kl_divergence([10, 0, 5], [3, 2, 0])
+        assert np.isfinite(value)
+
+
+class TestHelpers:
+    def test_mean_std(self):
+        mean, std = mean_std([1.0, 2.0, 3.0])
+        assert mean == 2.0
+        assert std == pytest.approx(np.std([1, 2, 3]))
+
+    def test_mean_std_empty(self):
+        with pytest.raises(ValueError):
+            mean_std([])
+
+    def test_task_metric_binary(self):
+        assert task_metric([0, 1, 0]) == "auroc"
+
+    def test_task_metric_multiclass(self):
+        assert task_metric([0, 1, 2]) == "accuracy"
+
+    def test_evaluate_predictions_auroc(self):
+        probs = np.array([[0.9, 0.1], [0.2, 0.8]])
+        assert evaluate_predictions([0, 1], probs) == 1.0
+
+    def test_evaluate_predictions_accuracy(self):
+        probs = np.array([[0.9, 0.1, 0.0], [0.2, 0.7, 0.1], [0.1, 0.2, 0.7]])
+        score = evaluate_predictions([0, 1, 0], probs, metric="accuracy")
+        assert score == pytest.approx(2 / 3)
+
+    def test_unknown_metric(self):
+        with pytest.raises(ValueError):
+            evaluate_predictions([0, 1], np.eye(2), metric="f1")

@@ -1,0 +1,61 @@
+"""Tests for the ASCII plotting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.eval import ascii_histogram, ascii_series
+
+
+class TestHistogram:
+    def test_renders_all_groups(self):
+        text = ascii_histogram(
+            {"a": np.zeros(10), "b": np.ones(10) * 5}, num_bins=5
+        )
+        assert "a" in text and "b" in text
+        assert "#" in text and "*" in text
+
+    def test_bar_heights_scale_with_counts(self):
+        text = ascii_histogram({"x": np.concatenate([np.zeros(40), np.ones(2)])},
+                               num_bins=2, width=20)
+        lines = text.splitlines()[1:]
+        # The dense bin must produce a longer bar than the sparse one.
+        assert lines[0].count("#") > lines[1].count("#")
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            ascii_histogram({})
+
+    def test_constant_data_handled(self):
+        text = ascii_histogram({"a": np.full(5, 2.0)})
+        assert isinstance(text, str) and len(text) > 0
+
+    def test_value_range_override(self):
+        text = ascii_histogram({"a": np.array([0.5])}, num_bins=4,
+                               value_range=(0.0, 4.0))
+        assert text.splitlines()[1].lstrip().startswith("0.00")
+
+
+class TestSeries:
+    def test_renders_legend_and_axes(self):
+        text = ascii_series({"acc": ([1, 2, 3], [0.1, 0.5, 0.9])})
+        assert "acc" in text
+        assert "0.900" in text and "0.100" in text
+
+    def test_multiple_series_distinct_marks(self):
+        text = ascii_series({
+            "a": ([0, 1], [0.0, 1.0]),
+            "b": ([0, 1], [1.0, 0.0]),
+        })
+        assert "#" in text and "*" in text
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            ascii_series({})
+
+    def test_monotone_series_goes_up_right(self):
+        text = ascii_series({"m": ([0, 1, 2, 3], [0, 1, 2, 3])}, width=20,
+                            height=8)
+        rows = [line for line in text.splitlines() if line.startswith("         │")]
+        first_mark_cols = [row.index("#") for row in rows if "#" in row]
+        # Higher rows (earlier lines) hold marks further right.
+        assert first_mark_cols == sorted(first_mark_cols, reverse=True)

@@ -1,0 +1,79 @@
+"""Smoke tests for the table/figure runners at miniature scale.
+
+The benchmarks run these at full (scaled) size; here we only verify the
+orchestration: every runner executes, returns the documented structure
+and renders a printable table.  PROFILES is monkeypatched to miniature
+settings so the whole module runs in seconds.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import configs
+from repro.experiments import tables as tables_mod
+from repro.experiments import figures as figures_mod
+from repro.experiments.configs import scaled_profile
+from repro.experiments.tables import run_design_choice_table, run_table10, run_table11
+from repro.experiments.figures import run_figure2, run_figure3
+from repro.experiments import paper_numbers
+
+
+@pytest.fixture(autouse=True)
+def tiny_profiles(monkeypatch):
+    tiny = {
+        name: scaled_profile(name, num_clients=24, num_epochs=1,
+                             fine_tune_epochs=1, gbm_rounds=5)
+        for name in configs.PROFILES
+    }
+    monkeypatch.setattr(configs, "PROFILES", tiny)
+    monkeypatch.setattr(tables_mod, "PROFILES", tiny)
+    monkeypatch.setattr(figures_mod, "PROFILES", tiny)
+    return tiny
+
+
+class TestDesignChoiceRunner:
+    def test_structure_and_table(self):
+        variants = {"random_slices": {"strategy": "random_slices"}}
+        results, table = run_design_choice_table(
+            "T", variants, paper_numbers.TABLE2_SAMPLING,
+            datasets=("age",), num_seeds=1,
+        )
+        assert set(results) == {"random_slices"}
+        assert "age" in results["random_slices"]
+        assert 0.0 <= results["random_slices"]["age"] <= 1.0
+        rendered = table.render()
+        assert "T" in rendered and "age" in rendered
+
+
+class TestCommercialRunners:
+    def test_table10_structure(self):
+        results, table = run_table10(num_companies=60, num_epochs=1)
+        assert set(results) == {
+            "insurance_lead", "credit_lead", "credit_scoring", "fraud",
+            "holding_structure",
+        }
+        for scenario in results.values():
+            assert set(scenario) == {"baseline", "coles", "hybrid"}
+        assert "Table 10" in table.render()
+
+    def test_table11_structure(self):
+        results, table = run_table11(num_clients=60, num_epochs=1)
+        assert set(results) == {"credit_scoring", "churn", "insurance_lead"}
+        assert "Table 11" in table.render()
+
+
+class TestFigureRunners:
+    def test_figure2_structure(self):
+        results, table = run_figure2(num_pairs=30)
+        assert set(results) == {"age", "assessment", "retail", "texts"}
+        for summary in results.values():
+            assert {"same_median", "different_median",
+                    "separation_ratio", "histogram"} <= set(summary)
+            assert "legend" in summary["histogram"]
+        assert "Figure 2" in table.render()
+
+    def test_figure3_structure(self):
+        results, table = run_figure3(sizes=(4, 8))
+        assert set(results) == {4, 8}
+        assert all(0.0 <= v <= 1.0 for v in results.values())
+        assert "Figure 3" in table.render()

@@ -1,0 +1,168 @@
+"""Tests for the gradient-boosting classifier (binary and multiclass)."""
+
+import numpy as np
+import pytest
+
+from repro.gbm import (
+    BinaryLogistic,
+    GBMConfig,
+    GradientBoostingClassifier,
+    MulticlassSoftmax,
+    resolve_objective,
+)
+
+RNG = np.random.default_rng(0)
+
+
+def binary_problem(n=400, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((n, 5))
+    logits = 2.0 * x[:, 0] - 1.5 * x[:, 1] + 0.5 * x[:, 2] * x[:, 0]
+    y = (logits + 0.5 * rng.standard_normal(n) > 0).astype(int)
+    return x, y
+
+
+def multiclass_problem(n=400, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((n, 4))
+    y = (x[:, 0] > 0).astype(int) + 2 * (x[:, 1] > 0).astype(int)
+    return x, y
+
+
+class TestObjectives:
+    def test_resolve_binary(self):
+        assert isinstance(resolve_objective([0, 1, 1, 0]), BinaryLogistic)
+
+    def test_resolve_multiclass(self):
+        obj = resolve_objective([0, 1, 2])
+        assert isinstance(obj, MulticlassSoftmax)
+        assert obj.num_classes == 3
+
+    def test_resolve_single_class_raises(self):
+        with pytest.raises(ValueError):
+            resolve_objective([1, 1, 1])
+
+    def test_binary_rejects_other_labels(self):
+        with pytest.raises(ValueError):
+            BinaryLogistic().validate_targets([0, 2])
+
+    def test_binary_gradient_formula(self):
+        obj = BinaryLogistic()
+        targets = obj.validate_targets([0, 1])
+        scores = np.array([[0.0], [0.0]])
+        grad, hess = obj.gradients_hessians(scores, targets)
+        np.testing.assert_allclose(grad[:, 0], [0.5, -0.5])
+        np.testing.assert_allclose(hess[:, 0], [0.25, 0.25])
+
+    def test_softmax_gradient_sums_to_zero(self):
+        obj = MulticlassSoftmax(3)
+        targets = obj.validate_targets([0, 1, 2])
+        scores = RNG.standard_normal((3, 3))
+        grad, _ = obj.gradients_hessians(scores, targets)
+        np.testing.assert_allclose(grad.sum(axis=1), np.zeros(3), atol=1e-12)
+
+    def test_initial_scores_match_priors(self):
+        obj = BinaryLogistic()
+        targets = obj.validate_targets([1, 1, 1, 0])
+        scores = obj.initial_scores(targets)
+        np.testing.assert_allclose(scores[0, 0], np.log(0.75 / 0.25))
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GBMConfig(num_rounds=0)
+        with pytest.raises(ValueError):
+            GBMConfig(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            GBMConfig(subsample=0.0)
+
+
+class TestBinaryBoosting:
+    def test_train_loss_monotone(self):
+        x, y = binary_problem()
+        model = GradientBoostingClassifier(GBMConfig(num_rounds=30))
+        model.fit(x, y)
+        losses = np.array(model.train_losses_)
+        assert (np.diff(losses) <= 1e-9).all()
+
+    def test_beats_chance_substantially(self):
+        x, y = binary_problem()
+        x_test, y_test = binary_problem(seed=1)
+        model = GradientBoostingClassifier(GBMConfig(num_rounds=60))
+        model.fit(x, y)
+        accuracy = (model.predict(x_test) == y_test).mean()
+        assert accuracy > 0.8
+
+    def test_predict_proba_distribution(self):
+        x, y = binary_problem(100)
+        model = GradientBoostingClassifier(GBMConfig(num_rounds=5))
+        model.fit(x, y)
+        probs = model.predict_proba(x)
+        assert probs.shape == (100, 2)
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(100), rtol=1e-9)
+        assert (probs >= 0).all()
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            GradientBoostingClassifier().predict(np.zeros((2, 2)))
+
+    def test_early_stopping_truncates(self):
+        x, y = binary_problem(300)
+        x_valid, y_valid = binary_problem(150, seed=9)
+        model = GradientBoostingClassifier(
+            GBMConfig(num_rounds=200, early_stopping_rounds=5,
+                      learning_rate=0.3, max_depth=4)
+        )
+        model.fit(x, y, eval_set=(x_valid, y_valid))
+        assert len(model.trees_) < 200
+        assert model.best_round_ < len(model.trees_)
+
+    def test_subsample_still_learns(self):
+        x, y = binary_problem()
+        model = GradientBoostingClassifier(
+            GBMConfig(num_rounds=40, subsample=0.5, seed=3)
+        )
+        model.fit(x, y)
+        assert (model.predict(x) == y).mean() > 0.8
+
+    def test_deterministic_given_seed(self):
+        x, y = binary_problem(200)
+        probs = []
+        for _ in range(2):
+            model = GradientBoostingClassifier(
+                GBMConfig(num_rounds=10, subsample=0.7, seed=5)
+            )
+            model.fit(x, y)
+            probs.append(model.predict_proba(x))
+        np.testing.assert_allclose(probs[0], probs[1])
+
+
+class TestMulticlassBoosting:
+    def test_learns_four_classes(self):
+        x, y = multiclass_problem()
+        x_test, y_test = multiclass_problem(seed=2)
+        model = GradientBoostingClassifier(GBMConfig(num_rounds=40))
+        model.fit(x, y)
+        accuracy = (model.predict(x_test) == y_test).mean()
+        assert accuracy > 0.8
+
+    def test_one_tree_per_class_per_round(self):
+        x, y = multiclass_problem(200)
+        model = GradientBoostingClassifier(GBMConfig(num_rounds=7))
+        model.fit(x, y)
+        assert len(model.trees_) == 7
+        assert all(len(round_trees) == 4 for round_trees in model.trees_)
+        assert model.num_trees == 28
+
+    def test_proba_shape(self):
+        x, y = multiclass_problem(150)
+        model = GradientBoostingClassifier(GBMConfig(num_rounds=5))
+        model.fit(x, y)
+        assert model.predict_proba(x).shape == (150, 4)
+
+    def test_train_loss_monotone(self):
+        x, y = multiclass_problem()
+        model = GradientBoostingClassifier(GBMConfig(num_rounds=25))
+        model.fit(x, y)
+        assert (np.diff(model.train_losses_) <= 1e-9).all()

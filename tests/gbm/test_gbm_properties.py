@@ -1,0 +1,57 @@
+"""Property-based tests (hypothesis) for the GBM stack."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gbm import BinMapper, GBMConfig, GradientBoostingClassifier
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 1000), n=st.integers(20, 100), bins=st.integers(2, 32))
+def test_binning_preserves_order(seed, n, bins):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((n, 1))
+    mapper = BinMapper(max_bins=bins).fit(x)
+    binned = mapper.transform(x)[:, 0].astype(int)
+    order = np.argsort(x[:, 0], kind="stable")
+    assert (np.diff(binned[order]) >= 0).all()
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 1000))
+def test_bin_codes_below_num_bins(seed):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((60, 3))
+    mapper = BinMapper(max_bins=16).fit(x)
+    binned = mapper.transform(rng.standard_normal((30, 3)))
+    assert (binned < mapper.num_bins[None, :]).all()
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 200), rounds=st.integers(2, 15))
+def test_train_loss_never_increases(seed, rounds):
+    """Boosting with exact Newton leaves must not increase training loss."""
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((80, 3))
+    y = (x[:, 0] + 0.3 * rng.standard_normal(80) > 0).astype(int)
+    if len(np.unique(y)) < 2:
+        return
+    model = GradientBoostingClassifier(GBMConfig(num_rounds=rounds))
+    model.fit(x, y)
+    assert (np.diff(model.train_losses_) <= 1e-9).all()
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 200))
+def test_probabilities_valid(seed):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((60, 2))
+    y = rng.integers(0, 3, 60)
+    if len(np.unique(y)) < 2:
+        return
+    model = GradientBoostingClassifier(GBMConfig(num_rounds=4))
+    model.fit(x, y)
+    probs = model.predict_proba(rng.standard_normal((25, 2)))
+    assert (probs >= 0).all() and (probs <= 1).all()
+    np.testing.assert_allclose(probs.sum(axis=1), np.ones(25), rtol=1e-9)

@@ -1,0 +1,54 @@
+"""Shared test utilities: numerical gradient checking."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import Tensor
+
+
+def numerical_grad(func, arrays, index, eps=1e-6):
+    """Central-difference gradient of ``func`` w.r.t. ``arrays[index]``.
+
+    ``func`` maps a list of numpy arrays to a float.
+    """
+    base = [np.array(a, dtype=np.float64) for a in arrays]
+    grad = np.zeros_like(base[index])
+    flat = base[index].reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        up = func(base)
+        flat[i] = original - eps
+        down = func(base)
+        flat[i] = original
+        grad_flat[i] = (up - down) / (2.0 * eps)
+    return grad
+
+
+def check_gradients(build, arrays, rtol=1e-4, atol=1e-6, eps=1e-6):
+    """Assert autograd gradients match finite differences.
+
+    Parameters
+    ----------
+    build:
+        Callable taking a list of Tensors and returning a scalar Tensor.
+    arrays:
+        List of numpy arrays used as leaf values.
+    """
+    tensors = [Tensor(a, requires_grad=True) for a in arrays]
+    out = build(tensors)
+    out.backward()
+
+    def as_float(values):
+        ts = [Tensor(v) for v in values]
+        return float(build(ts).data)
+
+    for index, tensor in enumerate(tensors):
+        expected = numerical_grad(as_float, arrays, index, eps=eps)
+        actual = tensor.grad if tensor.grad is not None else np.zeros_like(expected)
+        np.testing.assert_allclose(
+            actual, expected, rtol=rtol, atol=atol,
+            err_msg="gradient mismatch for input %d" % index,
+        )

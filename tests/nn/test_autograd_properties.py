@@ -1,0 +1,132 @@
+"""Property-based tests (hypothesis) for the autograd engine."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro.nn import Tensor
+from repro.nn import functional as F
+from tests.helpers import check_gradients
+
+finite_floats = st.floats(
+    min_value=-10.0, max_value=10.0, allow_nan=False, allow_infinity=False
+)
+
+
+def small_arrays(max_dims=2, max_side=4):
+    return arrays(
+        dtype=np.float64,
+        shape=array_shapes(min_dims=1, max_dims=max_dims, min_side=1, max_side=max_side),
+        elements=finite_floats,
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_arrays())
+def test_add_commutes(a):
+    t = Tensor(a)
+    np.testing.assert_allclose((t + t).data, (2.0 * t).data)
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_arrays(), small_arrays())
+def test_add_matches_numpy_broadcasting_or_raises(a, b):
+    try:
+        expected = a + b
+    except ValueError:
+        return
+    np.testing.assert_allclose((Tensor(a) + Tensor(b)).data, expected)
+
+
+@settings(max_examples=25, deadline=None)
+@given(small_arrays(max_dims=2))
+def test_sum_then_backward_gives_ones(a):
+    t = Tensor(a, requires_grad=True)
+    t.sum().backward()
+    np.testing.assert_allclose(t.grad, np.ones_like(a))
+
+
+@settings(max_examples=25, deadline=None)
+@given(small_arrays(max_dims=2))
+def test_mul_gradcheck_random_arrays(a):
+    check_gradients(lambda ts: (ts[0] * ts[0] * 0.5).sum(), [a], rtol=1e-3, atol=1e-5)
+
+
+@settings(max_examples=25, deadline=None)
+@given(small_arrays(max_dims=2))
+def test_tanh_bounded_and_odd(a):
+    out = Tensor(a).tanh().data
+    assert (np.abs(out) <= 1.0).all()
+    np.testing.assert_allclose(Tensor(-a).tanh().data, -out, atol=1e-12)
+
+
+@settings(max_examples=25, deadline=None)
+@given(small_arrays(max_dims=2))
+def test_sigmoid_in_unit_interval(a):
+    out = Tensor(a).sigmoid().data
+    assert (out > 0).all() and (out < 1).all()
+    # sigmoid(-x) = 1 - sigmoid(x)
+    np.testing.assert_allclose(Tensor(-a).sigmoid().data, 1 - out, atol=1e-12)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    arrays(
+        dtype=np.float64,
+        shape=st.tuples(st.integers(1, 5), st.integers(1, 5)),
+        elements=finite_floats,
+    )
+)
+def test_softmax_is_distribution(a):
+    out = F.softmax(Tensor(a), axis=-1).data
+    assert (out >= 0).all()
+    np.testing.assert_allclose(out.sum(axis=-1), np.ones(a.shape[0]), rtol=1e-9)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    arrays(
+        dtype=np.float64,
+        shape=st.tuples(st.integers(2, 6), st.integers(1, 4)),
+        elements=finite_floats,
+    )
+)
+def test_pairwise_distances_symmetric_nonnegative(a):
+    dist = F.pairwise_squared_distances(Tensor(a)).data
+    assert (dist >= 0).all()
+    np.testing.assert_allclose(dist, dist.T, atol=1e-8)
+    np.testing.assert_allclose(np.diag(dist), 0.0, atol=1e-8)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    arrays(
+        dtype=np.float64,
+        shape=st.tuples(st.integers(1, 5), st.integers(2, 6)),
+        elements=st.floats(min_value=-5, max_value=5, allow_nan=False),
+    ).filter(lambda a: (np.linalg.norm(a, axis=1) > 1e-3).all())
+)
+def test_l2_normalize_idempotent(a):
+    once = F.l2_normalize(Tensor(a)).data
+    twice = F.l2_normalize(Tensor(once)).data
+    np.testing.assert_allclose(once, twice, atol=1e-9)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(1, 4), st.integers(1, 4), st.integers(1, 4))
+def test_matmul_shapes(n, k, m):
+    a = np.ones((n, k))
+    b = np.ones((k, m))
+    out = Tensor(a) @ Tensor(b)
+    assert out.shape == (n, m)
+    np.testing.assert_allclose(out.data, np.full((n, m), k))
+
+
+@settings(max_examples=20, deadline=None)
+@given(small_arrays(max_dims=2))
+def test_reshape_roundtrip_preserves_grad_shape(a):
+    t = Tensor(a, requires_grad=True)
+    t.reshape(-1).reshape(a.shape).sum().backward()
+    assert t.grad.shape == a.shape
+    np.testing.assert_allclose(t.grad, np.ones_like(a))

@@ -1,0 +1,157 @@
+"""Tests for functional ops: softmax, losses, normalisation, distances."""
+
+import numpy as np
+import pytest
+from scipy.special import log_softmax as scipy_log_softmax
+from scipy.special import softmax as scipy_softmax
+
+from repro.nn import Tensor
+from repro.nn import functional as F
+from tests.helpers import check_gradients
+
+RNG = np.random.default_rng(1)
+
+
+class TestSoftmax:
+    def test_matches_scipy(self):
+        x = RNG.standard_normal((4, 6))
+        out = F.softmax(Tensor(x), axis=-1)
+        np.testing.assert_allclose(out.data, scipy_softmax(x, axis=-1), rtol=1e-12)
+
+    def test_log_softmax_matches_scipy(self):
+        x = RNG.standard_normal((4, 6))
+        out = F.log_softmax(Tensor(x), axis=-1)
+        np.testing.assert_allclose(out.data, scipy_log_softmax(x, axis=-1), rtol=1e-12)
+
+    def test_softmax_rows_sum_to_one(self):
+        x = RNG.standard_normal((7, 3)) * 30  # large logits: stability check
+        out = F.softmax(Tensor(x), axis=-1)
+        np.testing.assert_allclose(out.data.sum(axis=-1), np.ones(7), rtol=1e-12)
+
+    def test_softmax_gradients(self):
+        x = RNG.standard_normal((3, 4))
+        check_gradients(lambda ts: (F.softmax(ts[0]) ** 2).sum(), [x])
+
+    def test_log_softmax_gradients(self):
+        x = RNG.standard_normal((3, 4))
+        check_gradients(lambda ts: (F.log_softmax(ts[0]) * 0.5).sum(), [x])
+
+
+class TestCrossEntropy:
+    def test_value_against_manual(self):
+        logits = np.array([[2.0, 0.0, -1.0], [0.0, 1.0, 0.0]])
+        targets = np.array([0, 2])
+        loss = F.cross_entropy(Tensor(logits), targets)
+        expected = -scipy_log_softmax(logits, axis=-1)[[0, 1], targets].mean()
+        np.testing.assert_allclose(loss.item(), expected, rtol=1e-12)
+
+    def test_gradients(self):
+        logits = RNG.standard_normal((5, 4))
+        targets = np.array([0, 1, 2, 3, 1])
+        check_gradients(lambda ts: F.cross_entropy(ts[0], targets), [logits])
+
+    def test_reduction_sum_vs_mean(self):
+        logits = RNG.standard_normal((4, 3))
+        targets = np.array([0, 1, 2, 0])
+        s = F.cross_entropy(Tensor(logits), targets, reduction="sum").item()
+        m = F.cross_entropy(Tensor(logits), targets, reduction="mean").item()
+        np.testing.assert_allclose(s, m * 4, rtol=1e-12)
+
+    def test_perfect_prediction_low_loss(self):
+        logits = np.eye(3) * 50
+        loss = F.cross_entropy(Tensor(logits), np.arange(3))
+        assert loss.item() < 1e-10
+
+
+class TestBCE:
+    def test_value_against_manual(self):
+        logits = np.array([0.5, -1.0, 2.0])
+        targets = np.array([1.0, 0.0, 1.0])
+        p = 1 / (1 + np.exp(-logits))
+        expected = -(targets * np.log(p) + (1 - targets) * np.log(1 - p)).mean()
+        loss = F.binary_cross_entropy_with_logits(Tensor(logits), targets)
+        np.testing.assert_allclose(loss.item(), expected, rtol=1e-10)
+
+    def test_stable_for_extreme_logits(self):
+        logits = np.array([500.0, -500.0])
+        targets = np.array([1.0, 0.0])
+        loss = F.binary_cross_entropy_with_logits(Tensor(logits), targets)
+        assert np.isfinite(loss.item())
+        assert loss.item() < 1e-6
+
+    def test_gradients(self):
+        logits = RNG.standard_normal((6,))
+        targets = (RNG.random(6) > 0.5).astype(float)
+        check_gradients(
+            lambda ts: F.binary_cross_entropy_with_logits(ts[0], targets), [logits]
+        )
+
+
+class TestMisc:
+    def test_mse(self):
+        a = RNG.standard_normal((4,))
+        b = RNG.standard_normal((4,))
+        loss = F.mse_loss(Tensor(a), b)
+        np.testing.assert_allclose(loss.item(), ((a - b) ** 2).mean())
+
+    def test_dropout_eval_identity(self):
+        x = Tensor(RNG.standard_normal((10, 10)))
+        out = F.dropout(x, 0.5, training=False)
+        assert out is x
+
+    def test_dropout_train_scales(self):
+        rng = np.random.default_rng(3)
+        x = Tensor(np.ones((200, 200)))
+        out = F.dropout(x, 0.25, training=True, rng=rng)
+        kept = out.data[out.data > 0]
+        np.testing.assert_allclose(kept, 1 / 0.75)
+        assert abs((out.data == 0).mean() - 0.25) < 0.02
+
+    def test_gelu_shape_and_sign(self):
+        x = Tensor(np.array([-10.0, 0.0, 10.0]))
+        out = F.gelu(x).data
+        assert abs(out[0]) < 1e-3
+        assert out[1] == 0.0
+        np.testing.assert_allclose(out[2], 10.0, rtol=1e-3)
+
+    def test_gelu_gradients(self):
+        x = RNG.standard_normal((5,))
+        check_gradients(lambda ts: F.gelu(ts[0]).sum(), [x])
+
+    def test_l2_normalize_unit_norm(self):
+        x = RNG.standard_normal((8, 5)) * 10
+        out = F.l2_normalize(Tensor(x))
+        np.testing.assert_allclose(
+            np.linalg.norm(out.data, axis=1), np.ones(8), rtol=1e-10
+        )
+
+    def test_l2_normalize_gradients(self):
+        x = RNG.standard_normal((4, 3))
+        check_gradients(lambda ts: (F.l2_normalize(ts[0]) * 0.3).sum(), [x])
+
+
+class TestPairwiseDistances:
+    def test_matches_direct_computation(self):
+        x = RNG.standard_normal((6, 4))
+        dist = F.pairwise_squared_distances(Tensor(x)).data
+        expected = ((x[:, None, :] - x[None, :, :]) ** 2).sum(axis=-1)
+        np.testing.assert_allclose(dist, expected, rtol=1e-8, atol=1e-10)
+
+    def test_diagonal_zero(self):
+        x = RNG.standard_normal((5, 3))
+        dist = F.pairwise_squared_distances(Tensor(x)).data
+        np.testing.assert_allclose(np.diag(dist), np.zeros(5), atol=1e-9)
+
+    def test_unit_norm_identity(self):
+        """For unit vectors d^2 = 2 - 2cos (Section 3.3 of the paper)."""
+        x = RNG.standard_normal((5, 4))
+        x = x / np.linalg.norm(x, axis=1, keepdims=True)
+        dist = F.pairwise_squared_distances(Tensor(x)).data
+        np.testing.assert_allclose(dist, 2 - 2 * x @ x.T, atol=1e-9)
+
+    def test_gradients(self):
+        x = RNG.standard_normal((4, 3))
+        check_gradients(
+            lambda ts: (F.pairwise_squared_distances(ts[0]) * 0.1).sum(), [x],
+            rtol=1e-3, atol=1e-5,
+        )

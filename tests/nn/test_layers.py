@@ -1,0 +1,165 @@
+"""Tests for Linear, Embedding, BatchNorm1d, LayerNorm, Dropout layers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    BatchNorm1d,
+    Dropout,
+    Embedding,
+    L2Normalize,
+    LayerNorm,
+    Linear,
+    ReLU,
+    Sequential,
+    Tensor,
+)
+from tests.helpers import check_gradients
+
+RNG = np.random.default_rng(2)
+
+
+class TestLinear:
+    def test_forward_shape(self):
+        layer = Linear(4, 7, rng=RNG)
+        out = layer(Tensor(RNG.standard_normal((3, 4))))
+        assert out.shape == (3, 7)
+
+    def test_matches_manual(self):
+        layer = Linear(3, 2, rng=RNG)
+        x = RNG.standard_normal((5, 3))
+        out = layer(Tensor(x))
+        expected = x @ layer.weight.data.T + layer.bias.data
+        np.testing.assert_allclose(out.data, expected)
+
+    def test_no_bias(self):
+        layer = Linear(3, 2, bias=False, rng=RNG)
+        assert layer.bias is None
+        assert len(list(layer.parameters())) == 1
+
+    def test_gradients_flow_to_weights(self):
+        layer = Linear(3, 2, rng=RNG)
+        out = layer(Tensor(RNG.standard_normal((4, 3)))).sum()
+        out.backward()
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is not None
+        np.testing.assert_allclose(layer.bias.grad, np.full(2, 4.0))
+
+    def test_3d_input(self):
+        layer = Linear(3, 2, rng=RNG)
+        out = layer(Tensor(RNG.standard_normal((2, 5, 3))))
+        assert out.shape == (2, 5, 2)
+
+
+class TestEmbedding:
+    def test_lookup(self):
+        emb = Embedding(10, 4, rng=RNG)
+        ids = np.array([[1, 2], [3, 1]])
+        out = emb(ids)
+        assert out.shape == (2, 2, 4)
+        np.testing.assert_allclose(out.data[0, 0], emb.weight.data[1])
+
+    def test_gradient_accumulates_per_id(self):
+        emb = Embedding(5, 3, rng=RNG)
+        out = emb(np.array([1, 1, 2]))
+        out.sum().backward()
+        np.testing.assert_allclose(emb.weight.grad[1], np.full(3, 2.0))
+        np.testing.assert_allclose(emb.weight.grad[2], np.full(3, 1.0))
+        np.testing.assert_allclose(emb.weight.grad[0], np.zeros(3))
+
+    def test_padding_idx_zero_init(self):
+        emb = Embedding(5, 3, padding_idx=0, rng=RNG)
+        np.testing.assert_allclose(emb.weight.data[0], np.zeros(3))
+
+    def test_out_of_range_raises(self):
+        emb = Embedding(5, 3, rng=RNG)
+        with pytest.raises(IndexError):
+            emb(np.array([5]))
+        with pytest.raises(IndexError):
+            emb(np.array([-1]))
+
+
+class TestBatchNorm:
+    def test_normalises_train_batch(self):
+        bn = BatchNorm1d(4)
+        x = RNG.standard_normal((100, 4)) * 5 + 3
+        out = bn(Tensor(x))
+        np.testing.assert_allclose(out.data.mean(axis=0), np.zeros(4), atol=1e-7)
+        np.testing.assert_allclose(out.data.std(axis=0), np.ones(4), atol=1e-2)
+
+    def test_running_stats_update(self):
+        bn = BatchNorm1d(2, momentum=0.5)
+        x = np.ones((10, 2)) * 4.0
+        bn(Tensor(x))
+        np.testing.assert_allclose(bn.running_mean, [2.0, 2.0])
+
+    def test_eval_uses_running_stats(self):
+        bn = BatchNorm1d(2, momentum=1.0)
+        x = RNG.standard_normal((50, 2)) * 2 + 1
+        bn(Tensor(x))
+        bn.eval()
+        y = RNG.standard_normal((5, 2))
+        out = bn(Tensor(y))
+        expected = (y - bn.running_mean) / np.sqrt(bn.running_var + bn.eps)
+        np.testing.assert_allclose(out.data, expected, rtol=1e-9)
+
+    def test_masked_3d_statistics(self):
+        bn = BatchNorm1d(2, momentum=1.0)
+        x = np.zeros((2, 3, 2))
+        x[0, :2] = 10.0  # real events
+        x[0, 2] = 999.0  # padding, must be excluded from stats
+        x[1, :2] = -10.0
+        x[1, 2] = -999.0
+        mask = np.array([[True, True, False], [True, True, False]])
+        bn(Tensor(x), mask=mask)
+        np.testing.assert_allclose(bn.running_mean, [0.0, 0.0], atol=1e-9)
+
+    def test_empty_batch_raises(self):
+        bn = BatchNorm1d(2)
+        with pytest.raises(ValueError):
+            bn(Tensor(np.zeros((1, 3, 2))), mask=np.zeros((1, 3), dtype=bool))
+
+    def test_gradients(self):
+        bn = BatchNorm1d(3)
+        bn.eval()  # deterministic stats for gradcheck
+        x = RNG.standard_normal((4, 3))
+        check_gradients(lambda ts: (bn(ts[0]) ** 2).sum(), [x])
+
+
+class TestLayerNorm:
+    def test_normalises_last_axis(self):
+        ln = LayerNorm(6)
+        x = RNG.standard_normal((3, 6)) * 4 + 2
+        out = ln(Tensor(x))
+        np.testing.assert_allclose(out.data.mean(axis=-1), np.zeros(3), atol=1e-9)
+
+    def test_gradients(self):
+        ln = LayerNorm(4)
+        x = RNG.standard_normal((3, 4))
+        check_gradients(lambda ts: (ln(ts[0]) * 0.7).sum(), [x], rtol=1e-3)
+
+
+class TestDropoutLayer:
+    def test_eval_mode_identity(self):
+        layer = Dropout(0.9)
+        layer.eval()
+        x = Tensor(np.ones((5, 5)))
+        assert layer(x) is x
+
+    def test_train_mode_zeroes(self):
+        layer = Dropout(0.5, rng=np.random.default_rng(0))
+        out = layer(Tensor(np.ones((100, 100))))
+        frac = (out.data == 0).mean()
+        assert 0.45 < frac < 0.55
+
+
+class TestSequentialAndActivations:
+    def test_sequential_pipeline(self):
+        model = Sequential(Linear(4, 8, rng=RNG), ReLU(), Linear(8, 2, rng=RNG))
+        out = model(Tensor(RNG.standard_normal((3, 4))))
+        assert out.shape == (3, 2)
+        assert len(model) == 3
+
+    def test_l2_normalize_layer(self):
+        out = L2Normalize()(Tensor(RNG.standard_normal((4, 6)) * 9))
+        np.testing.assert_allclose(np.linalg.norm(out.data, axis=1), np.ones(4))

@@ -1,0 +1,121 @@
+"""Tests for the Module system and serialization."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    BatchNorm1d,
+    Linear,
+    Module,
+    ModuleDict,
+    ModuleList,
+    Parameter,
+    Sequential,
+    Tensor,
+    load_state,
+    save_state,
+)
+
+
+class Nested(Module):
+    def __init__(self):
+        super().__init__()
+        self.inner = Linear(2, 3, rng=np.random.default_rng(0))
+        self.scale = Parameter(np.ones(3))
+
+    def forward(self, x):
+        return self.inner(x) * self.scale
+
+
+class TestRegistration:
+    def test_parameters_collected_recursively(self):
+        model = Nested()
+        names = dict(model.named_parameters())
+        assert set(names) == {"inner.weight", "inner.bias", "scale"}
+
+    def test_parameters_no_duplicates_on_shared(self):
+        model = Module()
+        shared = Parameter(np.ones(2))
+        model.a = shared
+        model.b = shared
+        assert len(list(model.parameters())) == 1
+
+    def test_num_parameters(self):
+        model = Nested()
+        assert model.num_parameters() == 2 * 3 + 3 + 3
+
+    def test_zero_grad(self):
+        model = Nested()
+        out = model(Tensor(np.ones((1, 2)))).sum()
+        out.backward()
+        assert model.scale.grad is not None
+        model.zero_grad()
+        assert model.scale.grad is None
+
+    def test_train_eval_propagates(self):
+        model = Sequential(Nested(), Nested())
+        model.eval()
+        assert all(not m.training for m in model.modules())
+        model.train()
+        assert all(m.training for m in model.modules())
+
+    def test_module_list(self):
+        items = ModuleList([Linear(2, 2), Linear(2, 2)])
+        assert len(items) == 2
+        assert len(list(items.parameters())) == 4
+        assert items[0] is list(items)[0]
+
+    def test_module_dict(self):
+        d = ModuleDict({"a": Linear(2, 2), "b": Linear(2, 3)})
+        assert "a" in d
+        assert d["b"].out_features == 3
+        assert set(d.keys()) == {"a", "b"}
+        assert len(list(d.parameters())) == 4
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        model = Nested()
+        state = model.state_dict()
+        clone = Nested()
+        clone.load_state_dict(state)
+        x = Tensor(np.ones((2, 2)))
+        np.testing.assert_allclose(model(x).data, clone(x).data)
+
+    def test_state_dict_is_copy(self):
+        model = Nested()
+        state = model.state_dict()
+        state["scale"][:] = 99.0
+        assert model.scale.data[0] == 1.0
+
+    def test_missing_key_raises(self):
+        model = Nested()
+        state = model.state_dict()
+        del state["scale"]
+        with pytest.raises(KeyError):
+            Nested().load_state_dict(state)
+
+    def test_shape_mismatch_raises(self):
+        model = Nested()
+        state = model.state_dict()
+        state["scale"] = np.ones(5)
+        with pytest.raises(ValueError):
+            Nested().load_state_dict(state)
+
+    def test_buffers_roundtrip(self):
+        bn = BatchNorm1d(3, momentum=1.0)
+        bn(Tensor(np.random.default_rng(0).standard_normal((20, 3)) + 7))
+        state = bn.state_dict()
+        clone = BatchNorm1d(3)
+        clone.load_state_dict(state)
+        np.testing.assert_allclose(clone.running_mean, bn.running_mean)
+        np.testing.assert_allclose(clone.running_var, bn.running_var)
+
+    def test_npz_roundtrip(self, tmp_path):
+        model = Nested()
+        path = tmp_path / "model.npz"
+        save_state(model, path)
+        clone = Nested()
+        load_state(clone, path)
+        x = Tensor(np.ones((2, 2)))
+        np.testing.assert_allclose(model(x).data, clone(x).data)

@@ -1,0 +1,183 @@
+"""Tests for GRU/LSTM recurrences, masking and incremental stepping."""
+
+import numpy as np
+import pytest
+
+from repro.nn import GRU, LSTM, Adam, Tensor
+from tests.helpers import check_gradients
+
+RNG = np.random.default_rng(3)
+
+
+def _sigmoid(x):
+    return 1 / (1 + np.exp(-x))
+
+
+class TestGRU:
+    def test_output_shapes(self):
+        gru = GRU(4, 6, rng=RNG)
+        x = Tensor(RNG.standard_normal((3, 5, 4)))
+        outputs, last = gru(x)
+        assert outputs.shape == (3, 5, 6)
+        assert last.shape == (3, 6)
+
+    def test_step_matches_manual_formula(self):
+        """Verify the PyTorch gate convention is implemented exactly."""
+        gru = GRU(2, 3, learn_init_state=False, rng=RNG)
+        x = RNG.standard_normal((1, 2))
+        h = RNG.standard_normal((1, 3))
+        out = gru.step(Tensor(x), Tensor(h)).data
+
+        w_ih, w_hh = gru.weight_ih.data, gru.weight_hh.data
+        b_ih, b_hh = gru.bias_ih.data, gru.bias_hh.data
+        xr, xz, xn = np.split(x @ w_ih.T + b_ih, 3, axis=1)
+        hr, hz, hn = np.split(h @ w_hh.T + b_hh, 3, axis=1)
+        r = _sigmoid(xr + hr)
+        z = _sigmoid(xz + hz)
+        n = np.tanh(xn + r * hn)
+        expected = (1 - z) * n + z * h
+        np.testing.assert_allclose(out, expected, rtol=1e-10)
+
+    def test_last_equals_final_output(self):
+        gru = GRU(3, 4, rng=RNG)
+        outputs, last = gru(Tensor(RNG.standard_normal((2, 6, 3))))
+        np.testing.assert_allclose(outputs.data[:, -1, :], last.data)
+
+    def test_mask_freezes_state(self):
+        """Padded steps must not change the hidden state."""
+        gru = GRU(3, 4, rng=RNG)
+        x = RNG.standard_normal((2, 5, 3))
+        mask = np.array(
+            [[True] * 5, [True, True, True, False, False]]
+        )
+        outputs, last = gru(Tensor(x), mask=mask)
+        # For row 1 the state after step 2 is final.
+        np.testing.assert_allclose(outputs.data[1, 2], last.data[1])
+        np.testing.assert_allclose(outputs.data[1, 4], outputs.data[1, 2])
+
+    def test_masked_equals_truncated(self):
+        """Running a padded sequence equals running the unpadded prefix."""
+        gru = GRU(3, 4, rng=RNG)
+        x = RNG.standard_normal((1, 6, 3))
+        mask = np.array([[True, True, True, True, False, False]])
+        _, last_masked = gru(Tensor(x), mask=mask)
+        _, last_trunc = gru(Tensor(x[:, :4]))
+        np.testing.assert_allclose(last_masked.data, last_trunc.data, rtol=1e-12)
+
+    def test_learnt_initial_state_used(self):
+        gru = GRU(2, 3, learn_init_state=True, rng=RNG)
+        gru.init_state.data = np.array([1.0, -1.0, 0.5])
+        init = gru.initial_state(4)
+        assert init.shape == (4, 3)
+        np.testing.assert_allclose(init.data[2], [1.0, -1.0, 0.5])
+
+    def test_initial_state_receives_gradient(self):
+        gru = GRU(2, 3, rng=RNG)
+        _, last = gru(Tensor(RNG.standard_normal((2, 3, 2))))
+        last.sum().backward()
+        assert gru.init_state.grad is not None
+        assert np.abs(gru.init_state.grad).sum() > 0
+
+    def test_incremental_step_equals_full_run(self):
+        """The deployment property of Section 4.3.1: c_{t+k} from c_t."""
+        gru = GRU(3, 4, rng=RNG)
+        x = RNG.standard_normal((2, 7, 3))
+        _, last_full = gru(Tensor(x))
+        # Run first 4 steps, then continue incrementally.
+        _, mid = gru(Tensor(x[:, :4]))
+        state = mid
+        for t in range(4, 7):
+            state = gru.step(Tensor(x[:, t]), state)
+        np.testing.assert_allclose(state.data, last_full.data, rtol=1e-12)
+
+    def test_gradients_through_time(self):
+        gru = GRU(2, 3, rng=np.random.default_rng(7))
+        x = RNG.standard_normal((2, 4, 2))
+
+        def run(ts):
+            _, last = gru(ts[0])
+            return (last**2).sum()
+
+        check_gradients(run, [x], rtol=1e-3, atol=1e-6)
+
+    def test_weight_gradients_through_time(self):
+        gru = GRU(2, 3, rng=np.random.default_rng(8))
+        x = Tensor(RNG.standard_normal((2, 4, 2)))
+        _, last = gru(x)
+        (last**2).sum().backward()
+        for param in gru.parameters():
+            assert param.grad is not None
+
+    def test_trainable_to_fit_toy_sequence(self):
+        """A GRU + Adam should quickly fit a trivial memorisation task."""
+        rng = np.random.default_rng(5)
+        gru = GRU(1, 8, rng=rng)
+        x = Tensor(rng.standard_normal((4, 5, 1)))
+        target = np.array([0.0, 1.0, 0.0, 1.0])
+        from repro.nn import Linear
+
+        head = Linear(8, 1, rng=rng)
+        opt = Adam(list(gru.parameters()) + list(head.parameters()), lr=0.05)
+        losses = []
+        for _ in range(60):
+            _, last = gru(x)
+            pred = head(last).reshape(4)
+            loss = ((pred - Tensor(target)) ** 2).mean()
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+            losses.append(loss.item())
+        assert losses[-1] < 0.05 * losses[0] + 1e-3
+
+
+class TestLSTM:
+    def test_output_shapes(self):
+        lstm = LSTM(4, 6, rng=RNG)
+        outputs, last = lstm(Tensor(RNG.standard_normal((3, 5, 4))))
+        assert outputs.shape == (3, 5, 6)
+        assert last.shape == (3, 6)
+
+    def test_step_matches_manual_formula(self):
+        lstm = LSTM(2, 3, learn_init_state=False, rng=RNG)
+        x = RNG.standard_normal((1, 2))
+        h = RNG.standard_normal((1, 3))
+        c = RNG.standard_normal((1, 3))
+        new_h, new_c = lstm.step(Tensor(x), (Tensor(h), Tensor(c)))
+
+        w_ih, w_hh = lstm.weight_ih.data, lstm.weight_hh.data
+        b_ih, b_hh = lstm.bias_ih.data, lstm.bias_hh.data
+        xi, xf, xg, xo = np.split(x @ w_ih.T + b_ih, 4, axis=1)
+        hi, hf, hg, ho = np.split(h @ w_hh.T + b_hh, 4, axis=1)
+        i = _sigmoid(xi + hi)
+        f = _sigmoid(xf + hf)
+        g = np.tanh(xg + hg)
+        o = _sigmoid(xo + ho)
+        c_exp = f * c + i * g
+        h_exp = o * np.tanh(c_exp)
+        np.testing.assert_allclose(new_c.data, c_exp, rtol=1e-10)
+        np.testing.assert_allclose(new_h.data, h_exp, rtol=1e-10)
+
+    def test_mask_freezes_state(self):
+        lstm = LSTM(3, 4, rng=RNG)
+        x = RNG.standard_normal((1, 5, 3))
+        mask = np.array([[True, True, False, False, False]])
+        _, last_masked = lstm(Tensor(x), mask=mask)
+        _, last_trunc = lstm(Tensor(x[:, :2]))
+        np.testing.assert_allclose(last_masked.data, last_trunc.data, rtol=1e-12)
+
+    def test_gradients_through_time(self):
+        lstm = LSTM(2, 3, rng=np.random.default_rng(9))
+        x = RNG.standard_normal((2, 3, 2))
+
+        def run(ts):
+            _, last = lstm(ts[0])
+            return (last**2).sum()
+
+        check_gradients(run, [x], rtol=1e-3, atol=1e-6)
+
+    def test_all_parameters_receive_gradients(self):
+        lstm = LSTM(2, 3, rng=RNG)
+        _, last = lstm(Tensor(RNG.standard_normal((2, 4, 2))))
+        last.sum().backward()
+        for name, param in lstm.named_parameters():
+            assert param.grad is not None, name

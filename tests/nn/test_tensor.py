@@ -1,0 +1,243 @@
+"""Gradient and semantics tests for the autograd engine."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, concat, no_grad, stack, where
+from tests.helpers import check_gradients
+
+RNG = np.random.default_rng(0)
+
+
+class TestArithmetic:
+    def test_add_gradients(self):
+        a = RNG.standard_normal((3, 4))
+        b = RNG.standard_normal((3, 4))
+        check_gradients(lambda ts: (ts[0] + ts[1]).sum(), [a, b])
+
+    def test_add_broadcast_gradients(self):
+        a = RNG.standard_normal((3, 4))
+        b = RNG.standard_normal((4,))
+        check_gradients(lambda ts: (ts[0] + ts[1]).sum(), [a, b])
+
+    def test_mul_gradients(self):
+        a = RNG.standard_normal((2, 5))
+        b = RNG.standard_normal((2, 5))
+        check_gradients(lambda ts: (ts[0] * ts[1]).sum(), [a, b])
+
+    def test_mul_broadcast_scalar_shape(self):
+        a = RNG.standard_normal((4, 3))
+        b = RNG.standard_normal((1, 3))
+        check_gradients(lambda ts: (ts[0] * ts[1]).sum(), [a, b])
+
+    def test_sub_and_neg(self):
+        a = RNG.standard_normal((3,))
+        b = RNG.standard_normal((3,))
+        check_gradients(lambda ts: (ts[0] - ts[1] - (-ts[0])).sum(), [a, b])
+
+    def test_div_gradients(self):
+        a = RNG.standard_normal((3, 3))
+        b = RNG.standard_normal((3, 3)) + 3.0
+        check_gradients(lambda ts: (ts[0] / ts[1]).sum(), [a, b])
+
+    def test_pow_gradients(self):
+        a = RNG.standard_normal((4,)) + 2.5
+        check_gradients(lambda ts: (ts[0] ** 3).sum(), [a])
+
+    def test_rsub_rdiv(self):
+        a = np.array([1.0, 2.0, 4.0])
+        out = (1.0 - Tensor(a)) / Tensor(a)
+        np.testing.assert_allclose(out.data, (1 - a) / a)
+
+    def test_matmul_2d(self):
+        a = RNG.standard_normal((3, 4))
+        b = RNG.standard_normal((4, 2))
+        check_gradients(lambda ts: (ts[0] @ ts[1]).sum(), [a, b])
+
+    def test_matmul_batched(self):
+        a = RNG.standard_normal((2, 3, 4))
+        b = RNG.standard_normal((2, 4, 5))
+        check_gradients(lambda ts: (ts[0] @ ts[1]).sum(), [a, b])
+
+    def test_matmul_broadcast_batch(self):
+        a = RNG.standard_normal((2, 3, 3, 4))
+        b = RNG.standard_normal((3, 4, 5))
+        check_gradients(lambda ts: (ts[0] @ ts[1]).sum(), [a, b])
+
+    def test_matmul_vector(self):
+        a = RNG.standard_normal((4,))
+        b = RNG.standard_normal((4,))
+        check_gradients(lambda ts: ts[0] @ ts[1], [a, b])
+
+    def test_matmul_matrix_vector(self):
+        a = RNG.standard_normal((3, 4))
+        b = RNG.standard_normal((4,))
+        check_gradients(lambda ts: (ts[0] @ ts[1]).sum(), [a, b])
+
+
+class TestElementwise:
+    @pytest.mark.parametrize("name", ["exp", "tanh", "sigmoid", "relu", "abs"])
+    def test_unary_gradients(self, name):
+        a = RNG.standard_normal((3, 4)) + 0.1  # keep away from relu/abs kink
+        check_gradients(lambda ts: getattr(ts[0], name)().sum(), [a])
+
+    def test_log_sqrt_gradients(self):
+        a = RNG.random((3, 4)) + 0.5
+        check_gradients(lambda ts: (ts[0].log() + ts[0].sqrt()).sum(), [a])
+
+    def test_clip_min_gradient_blocked(self):
+        a = np.array([-1.0, 0.5, 2.0])
+        t = Tensor(a, requires_grad=True)
+        t.clip_min(0.0).sum().backward()
+        np.testing.assert_allclose(t.grad, [0.0, 1.0, 1.0])
+
+    def test_clip_max_gradient_blocked(self):
+        a = np.array([-1.0, 0.5, 2.0])
+        t = Tensor(a, requires_grad=True)
+        t.clip_max(1.0).sum().backward()
+        np.testing.assert_allclose(t.grad, [1.0, 1.0, 0.0])
+
+
+class TestReductions:
+    def test_sum_axis(self):
+        a = RNG.standard_normal((3, 4, 2))
+        check_gradients(lambda ts: (ts[0].sum(axis=1) ** 2).sum(), [a])
+
+    def test_sum_keepdims(self):
+        a = RNG.standard_normal((3, 4))
+        check_gradients(
+            lambda ts: (ts[0] / ts[0].sum(axis=1, keepdims=True)).sum(), [a]
+        )
+
+    def test_mean(self):
+        a = RNG.standard_normal((5, 2))
+        check_gradients(lambda ts: (ts[0].mean(axis=0) ** 2).sum(), [a])
+
+    def test_mean_all(self):
+        a = RNG.standard_normal((5, 2))
+        check_gradients(lambda ts: ts[0].mean() * 3.0, [a])
+
+    def test_max_gradient_goes_to_argmax(self):
+        a = np.array([[1.0, 5.0, 2.0], [7.0, 0.0, 3.0]])
+        t = Tensor(a, requires_grad=True)
+        t.max(axis=1).sum().backward()
+        expected = np.array([[0, 1, 0], [1, 0, 0]], dtype=float)
+        np.testing.assert_allclose(t.grad, expected)
+
+    def test_max_ties_split_gradient(self):
+        a = np.array([[2.0, 2.0]])
+        t = Tensor(a, requires_grad=True)
+        t.max(axis=1).sum().backward()
+        np.testing.assert_allclose(t.grad, [[0.5, 0.5]])
+
+    def test_min(self):
+        a = np.array([3.0, -1.0, 2.0])
+        assert Tensor(a).min().item() == -1.0
+
+
+class TestShapes:
+    def test_reshape_gradients(self):
+        a = RNG.standard_normal((2, 6))
+        check_gradients(lambda ts: (ts[0].reshape(3, 4) ** 2).sum(), [a])
+
+    def test_transpose_gradients(self):
+        a = RNG.standard_normal((2, 3, 4))
+        check_gradients(lambda ts: (ts[0].transpose(0, 2) ** 2).sum(), [a])
+
+    def test_getitem_slice(self):
+        a = RNG.standard_normal((4, 5))
+        check_gradients(lambda ts: (ts[0][1:3, :] ** 2).sum(), [a])
+
+    def test_getitem_int_column(self):
+        a = RNG.standard_normal((4, 5))
+        check_gradients(lambda ts: (ts[0][:, 2] ** 2).sum(), [a])
+
+    def test_getitem_fancy_accumulates(self):
+        a = np.zeros((3, 2))
+        t = Tensor(a, requires_grad=True)
+        idx = np.array([0, 0, 2])
+        t.take_rows(idx).sum().backward()
+        np.testing.assert_allclose(t.grad, [[2, 2], [0, 0], [1, 1]])
+
+    def test_concat_gradients(self):
+        a = RNG.standard_normal((2, 3))
+        b = RNG.standard_normal((2, 2))
+        check_gradients(lambda ts: (concat(ts, axis=1) ** 2).sum(), [a, b])
+
+    def test_stack_gradients(self):
+        a = RNG.standard_normal((2, 3))
+        b = RNG.standard_normal((2, 3))
+        check_gradients(lambda ts: (stack(ts, axis=1) ** 2).sum(), [a, b])
+
+    def test_masked_fill(self):
+        a = RNG.standard_normal((2, 3))
+        mask = np.array([[True, False, False], [False, True, False]])
+        t = Tensor(a, requires_grad=True)
+        out = t.masked_fill(mask, -9.0)
+        assert (out.data[mask] == -9.0).all()
+        out.sum().backward()
+        np.testing.assert_allclose(t.grad, (~mask).astype(float))
+
+    def test_where_gradients(self):
+        a = RNG.standard_normal((3, 2))
+        b = RNG.standard_normal((3, 2))
+        cond = np.array([[True, False], [False, True], [True, True]])
+        check_gradients(lambda ts: where(cond, ts[0], ts[1]).sum(), [a, b])
+
+
+class TestGraphSemantics:
+    def test_gradient_accumulates_through_reuse(self):
+        a = Tensor(np.array([2.0]), requires_grad=True)
+        out = a * a + a  # dy/da = 2a + 1 = 5
+        out.backward()
+        np.testing.assert_allclose(a.grad, [5.0])
+
+    def test_backward_twice_accumulates_on_leaf(self):
+        a = Tensor(np.array([1.0]), requires_grad=True)
+        (a * 3.0).backward()
+        (a * 3.0).backward()
+        np.testing.assert_allclose(a.grad, [6.0])
+
+    def test_no_grad_blocks_graph(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        with no_grad():
+            out = a * 2.0
+        assert not out.requires_grad
+        assert out._backward is None
+
+    def test_detach(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        d = a.detach()
+        assert not d.requires_grad
+        out = (a * d).sum()
+        out.backward()
+        np.testing.assert_allclose(a.grad, np.ones(3))
+
+    def test_diamond_graph(self):
+        a = RNG.standard_normal((3,))
+        check_gradients(
+            lambda ts: ((ts[0] * 2.0) * (ts[0] + 1.0)).sum(), [a]
+        )
+
+    def test_deep_chain(self):
+        a = Tensor(np.array([1.0]), requires_grad=True)
+        out = a
+        for _ in range(50):
+            out = out * 1.01
+        out.backward()
+        np.testing.assert_allclose(a.grad, [1.01**50], rtol=1e-10)
+
+    def test_constant_operand_gets_no_grad(self):
+        a = Tensor(np.ones(2), requires_grad=True)
+        b = Tensor(np.ones(2))
+        (a * b).sum().backward()
+        assert b.grad is None
+
+    def test_item_and_len(self):
+        assert Tensor(np.array(5.0)).item() == 5.0
+        assert len(Tensor(np.zeros((4, 2)))) == 4
+
+    def test_comparison_returns_arrays(self):
+        a = Tensor(np.array([1.0, 3.0]))
+        assert (a > 2.0).tolist() == [False, True]
+        assert (a <= 1.0).tolist() == [True, False]

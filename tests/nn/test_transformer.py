@@ -1,0 +1,117 @@
+"""Tests for the Transformer encoder used in Table 3."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    MultiHeadAttention,
+    Tensor,
+    TransformerEncoder,
+    TransformerEncoderLayer,
+    sinusoidal_positions,
+)
+from tests.helpers import check_gradients
+
+RNG = np.random.default_rng(4)
+
+
+class TestPositions:
+    def test_shape(self):
+        table = sinusoidal_positions(10, 8)
+        assert table.shape == (10, 8)
+
+    def test_values_bounded(self):
+        table = sinusoidal_positions(100, 16)
+        assert np.abs(table).max() <= 1.0
+
+    def test_first_position_pattern(self):
+        table = sinusoidal_positions(4, 6)
+        np.testing.assert_allclose(table[0, 0::2], 0.0)  # sin(0)
+        np.testing.assert_allclose(table[0, 1::2], 1.0)  # cos(0)
+
+    def test_distinct_positions(self):
+        table = sinusoidal_positions(50, 12)
+        dists = np.linalg.norm(table[:, None] - table[None, :], axis=-1)
+        off_diag = dists + np.eye(50) * 1e9
+        assert off_diag.min() > 1e-3  # all positions distinguishable
+
+    def test_odd_dimension(self):
+        table = sinusoidal_positions(5, 7)
+        assert table.shape == (5, 7)
+        assert np.isfinite(table).all()
+
+
+class TestMultiHeadAttention:
+    def test_output_shape(self):
+        mha = MultiHeadAttention(8, 2, rng=RNG)
+        out = mha(Tensor(RNG.standard_normal((3, 5, 8))))
+        assert out.shape == (3, 5, 8)
+
+    def test_indivisible_heads_raises(self):
+        with pytest.raises(ValueError):
+            MultiHeadAttention(7, 2, rng=RNG)
+
+    def test_padding_mask_blocks_attention(self):
+        """Changing a masked position must not change unmasked outputs."""
+        mha = MultiHeadAttention(8, 2, rng=np.random.default_rng(11))
+        mha.eval()
+        x = RNG.standard_normal((1, 4, 8))
+        mask = np.array([[True, True, True, False]])
+        out1 = mha(Tensor(x), key_padding_mask=mask).data.copy()
+        x2 = x.copy()
+        x2[0, 3] = 100.0  # perturb the padded event
+        out2 = mha(Tensor(x2), key_padding_mask=mask).data
+        np.testing.assert_allclose(out1[:, :3], out2[:, :3], rtol=1e-8)
+
+    def test_gradients(self):
+        mha = MultiHeadAttention(4, 2, rng=np.random.default_rng(12))
+        mha.eval()
+        x = RNG.standard_normal((2, 3, 4))
+
+        def run(ts):
+            return (mha(ts[0]) ** 2).sum()
+
+        check_gradients(run, [x], rtol=1e-3, atol=1e-5)
+
+
+class TestEncoder:
+    def test_output_shapes(self):
+        enc = TransformerEncoder(8, num_heads=2, num_layers=2, rng=RNG)
+        enc.eval()
+        states, pooled = enc(Tensor(RNG.standard_normal((3, 6, 8))))
+        assert states.shape == (3, 6, 8)
+        assert pooled.shape == (3, 8)
+
+    def test_masked_pooling_ignores_padding(self):
+        enc = TransformerEncoder(8, num_heads=2, num_layers=1, rng=np.random.default_rng(13))
+        enc.eval()
+        x = RNG.standard_normal((1, 5, 8))
+        mask = np.array([[True, True, True, False, False]])
+        _, pooled1 = enc(Tensor(x), mask=mask)
+        x2 = x.copy()
+        x2[0, 3:] = 55.0
+        _, pooled2 = enc(Tensor(x2), mask=mask)
+        np.testing.assert_allclose(pooled1.data, pooled2.data, rtol=1e-8)
+
+    def test_too_long_sequence_raises(self):
+        enc = TransformerEncoder(4, num_heads=2, num_layers=1, max_len=8, rng=RNG)
+        with pytest.raises(ValueError):
+            enc(Tensor(RNG.standard_normal((1, 9, 4))))
+
+    def test_gradients_flow_to_all_parameters(self):
+        enc = TransformerEncoder(4, num_heads=2, num_layers=1, rng=RNG)
+        enc.eval()
+        _, pooled = enc(Tensor(RNG.standard_normal((2, 3, 4))))
+        (pooled**2).sum().backward()
+        missing = [n for n, p in enc.named_parameters() if p.grad is None]
+        assert not missing, missing
+
+    def test_layer_residual_path(self):
+        """With zeroed weights the block must reduce to identity."""
+        layer = TransformerEncoderLayer(4, 2, rng=RNG)
+        layer.eval()
+        for param in layer.parameters():
+            param.data = np.zeros_like(param.data)
+        x = RNG.standard_normal((1, 3, 4))
+        out = layer(Tensor(x))
+        np.testing.assert_allclose(out.data, x, atol=1e-9)
