@@ -10,7 +10,6 @@ import numpy as np
 
 from repro.baselines import handcrafted_features
 from repro.core import (
-    IncrementalEmbedder,
     embed_dataset,
     quantize_embeddings,
 )
@@ -19,6 +18,7 @@ from repro.encoders import build_encoder
 from repro.eval import ComparisonTable, cross_val_features
 from repro.experiments import train_coles
 from repro.experiments.configs import scaled_profile
+from repro.runtime import EmbeddingStore
 
 
 def test_incremental_inference(benchmark):
@@ -27,18 +27,16 @@ def test_incremental_inference(benchmark):
     encoder = build_encoder(dataset.schema, 24, "gru",
                             rng=np.random.default_rng(0))
     encoder.eval()
-    embedder = IncrementalEmbedder(encoder)
     full = embed_dataset(encoder, dataset)
 
     seq = dataset[0]
     chunk = seq.slice(0, len(seq) // 2)
     tail = seq.slice(len(seq) // 2, len(seq))
-    embedder.update(seq.seq_id, chunk, dataset.schema)
 
     def update_tail():
-        fresh = IncrementalEmbedder(encoder)
-        fresh.update(seq.seq_id, chunk, dataset.schema)
-        return fresh.update(seq.seq_id, tail, dataset.schema)
+        store = EmbeddingStore(encoder)
+        store.update(seq.seq_id, chunk, dataset.schema)
+        return store.update(seq.seq_id, tail, dataset.schema)
 
     embedding = benchmark(update_tail)
     np.testing.assert_allclose(embedding, full[0], rtol=1e-8)

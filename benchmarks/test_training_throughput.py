@@ -7,6 +7,8 @@ numbers; absolute speed is not expected to match, the bench documents the
 gap and guards against performance regressions of the training step.
 """
 
+import time
+
 import numpy as np
 
 from repro.augmentations import RandomSlices
@@ -26,7 +28,8 @@ def test_training_step_throughput(benchmark):
                             rng=np.random.default_rng(0))
     trainer = ContrastiveTrainer(encoder, ContrastiveLoss(),
                                  RandomSlices(10, 60, 5),
-                                 TrainConfig(num_epochs=1, batch_size=16))
+                                 TrainConfig(num_epochs=1, batch_size=16,
+                                             bucket_window=4))
     optimizer = Adam(encoder.parameters(), lr=0.001)
     rng = np.random.default_rng(0)
     batch = augment_batch(dataset.sequences, dataset.schema,
@@ -34,6 +37,14 @@ def test_training_step_throughput(benchmark):
     events = int(batch.lengths.sum())
 
     result = benchmark(trainer.train_step, batch, optimizer, rng)
+
+    # The serving-side counterpart on the same batch: one fused forward.
+    encoder.eval()
+    runtime = encoder.fused_runtime()
+    started = time.perf_counter()
+    runtime.embed_batch(batch)
+    fused_ms = (time.perf_counter() - started) * 1000
+    encoder.train()
 
     table = ComparisonTable(
         "Section 4.0.4: training throughput",
@@ -44,5 +55,7 @@ def test_training_step_throughput(benchmark):
     mean_ms = benchmark.stats["mean"] * 1000
     table.add_row("this repo (CPU, numpy, batch 16x5)", str(events),
                   "%.0f" % mean_ms)
+    table.add_row("fused inference fwd (same batch)", str(events),
+                  "%.1f" % fused_ms)
     table.print()
     assert np.isfinite(result)

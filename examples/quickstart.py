@@ -73,6 +73,16 @@ def main():
     np.testing.assert_allclose(reloaded.embed(test), embeddings_test)
     print("saved + reloaded encoder reproduces the embeddings exactly")
 
+    # ------------------------------------------------------------------
+    # 5. Serving note: `model.embed` already runs through the fused
+    #    graph-free runtime with a length-bucketed batch plan (see
+    #    repro.runtime and examples/deployment_pipeline.py for the full
+    #    bulk + incremental ETL story).
+    # ------------------------------------------------------------------
+    runtime = model.encoder.fused_runtime()
+    print("serving runtime ready: %s encoder, %d-dim embeddings"
+          % (model.encoder.cell, runtime.output_dim))
+
 
 if __name__ == "__main__":
     main()

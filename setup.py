@@ -1,4 +1,8 @@
-"""Setuptools entry point (kept so editable installs work without wheel)."""
+"""Setuptools entry point; all metadata lives in pyproject.toml.
+
+Kept so legacy tooling (and ``pip install -e .`` on older pips without
+PEP 660 support) still works with the ``src/`` layout.
+"""
 
 from setuptools import setup
 

@@ -25,6 +25,7 @@ from . import (
     gbm,
     losses,
     nn,
+    runtime,
 )
 from .core import CoLES
 
@@ -41,4 +42,5 @@ __all__ = [
     "baselines",
     "gbm",
     "eval",
+    "runtime",
 ]

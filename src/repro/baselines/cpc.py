@@ -13,12 +13,11 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..data.batches import iterate_batches
 from ..data.sequences import SequenceDataset
 from ..encoders import RnnSeqEncoder, TrxEncoder
 from ..nn import Adam, Linear, clip_grad_norm
 from ..nn import functional as F
-from .pretrain_common import PretrainConfig, truncate_tail
+from .pretrain_common import PretrainConfig, pretrain_batches, truncate_tail
 
 __all__ = ["CPC"]
 
@@ -104,9 +103,7 @@ class CPC:
         self.encoder.train()
         for epoch in range(config.num_epochs):
             losses = []
-            for batch in iterate_batches(truncated.sequences, truncated.schema,
-                                         config.batch_size, rng=rng,
-                                         drop_last=False):
+            for batch in pretrain_batches(truncated, config, rng):
                 if batch.batch_size < 2:
                     continue
                 loss, _ = self._info_nce(batch)

@@ -4,7 +4,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["PretrainConfig", "truncate_tail", "random_slice_pair"]
+from ..data.batches import iterate_batches
+
+__all__ = ["PretrainConfig", "pretrain_batches", "truncate_tail",
+           "random_slice_pair"]
 
 
 @dataclass
@@ -18,6 +21,20 @@ class PretrainConfig:
     max_seq_length: int = 150  # truncate long sequences for speed
     seed: int = 0
     verbose: bool = False
+    # Shuffle window (in batches) for the length-bucketed batch planner;
+    # None disables bucketing.
+    bucket_window: int = None
+
+
+def pretrain_batches(dataset, config, rng, drop_last=False):
+    """One epoch of padded batches under the config's batch plan.
+
+    All baselines draw their epochs through this helper so the bucketed
+    planner (``config.bucket_window``) applies uniformly.
+    """
+    return iterate_batches(dataset.sequences, dataset.schema,
+                           config.batch_size, rng=rng, drop_last=drop_last,
+                           bucket_window=config.bucket_window)
 
 
 def truncate_tail(sequence, max_length):

@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..data.batches import collate
+from ..data.bucketing import plan_batches
 
 __all__ = ["coles_batches", "augment_batch"]
 
@@ -39,7 +40,8 @@ def augment_batch(sequences, schema, strategy, rng, min_views=2):
     return collate(views, schema)
 
 
-def coles_batches(dataset, strategy, batch_size, rng, drop_last=False):
+def coles_batches(dataset, strategy, batch_size, rng, drop_last=False,
+                  bucket_window=None):
     """Yield one epoch of CoLES training batches.
 
     Parameters
@@ -52,13 +54,25 @@ def coles_batches(dataset, strategy, batch_size, rng, drop_last=False):
     batch_size:
         Number of *entities* per batch (sub-sequence count is
         ``batch_size * K`` as in Section 4.0.4).
+    bucket_window:
+        When set (in batches), entities are length-bucketed within shuffle
+        windows by the planner in :mod:`repro.data.bucketing`, so the K
+        views of batch-mates pad far less.  Positive-pair semantics are
+        unchanged: each batch still holds all views of its N entities, and
+        negatives still come from the other entities in the batch.
     """
-    order = np.arange(len(dataset))
-    rng.shuffle(order)
-    for start in range(0, len(order), batch_size):
-        chunk = order[start:start + batch_size]
-        if drop_last and len(chunk) < batch_size:
-            break
+    if bucket_window is not None:
+        chunks = plan_batches(dataset.lengths(), batch_size, rng=rng,
+                              shuffle=True, window_batches=bucket_window,
+                              drop_last=drop_last)
+    else:
+        order = np.arange(len(dataset))
+        rng.shuffle(order)
+        chunks = [order[start:start + batch_size]
+                  for start in range(0, len(order), batch_size)]
+        if drop_last and chunks and len(chunks[-1]) < batch_size:
+            chunks.pop()
+    for chunk in chunks:
         if len(chunk) < 2:
             continue
         batch = augment_batch([dataset[i] for i in chunk], dataset.schema,

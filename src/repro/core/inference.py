@@ -3,8 +3,13 @@
 Section 4.3.1 of the paper describes the deployment pipeline: embeddings
 are computed once and then *incrementally* refreshed as new transactions
 arrive — recurrent encoders allow ``c_{t+k}`` to be computed from ``c_t``
-and the new events only.  :class:`IncrementalEmbedder` implements exactly
-that ETL pattern, and the tests assert bit-equality with full recompute.
+and the new events only.
+
+Since the runtime refactor this module is a thin façade over
+:mod:`repro.runtime`: recurrent encoders serve through the fused
+graph-free kernels with a length-sorted batch plan, while non-recurrent
+encoders (the Transformer of Table 3) fall back to the differentiable
+Tensor path under ``no_grad``.  Both paths agree to < 1e-10.
 """
 
 from __future__ import annotations
@@ -12,19 +17,15 @@ from __future__ import annotations
 import numpy as np
 
 from ..data.batches import collate
-from ..data.sequences import EventSequence
 from ..encoders.seq_encoder import RnnSeqEncoder
 from ..nn import no_grad
-from ..nn import functional as F
+from ..runtime import EmbeddingStore, FusedEncoderRuntime
 
 __all__ = ["embed_dataset", "IncrementalEmbedder"]
 
 
-def embed_dataset(encoder, dataset, batch_size=64):
-    """Embed every sequence; returns ``(N, d)`` float array.
-
-    Runs in eval mode under ``no_grad`` — inference only.
-    """
+def _embed_dataset_tensor(encoder, dataset, batch_size):
+    """Reference path: eval-mode autograd forward, naive batch order."""
     encoder.eval()
     embeddings = np.zeros((len(dataset), encoder.output_dim))
     with no_grad():
@@ -35,71 +36,63 @@ def embed_dataset(encoder, dataset, batch_size=64):
     return embeddings
 
 
-class IncrementalEmbedder:
-    """Maintains per-entity recurrent state for streaming embedding updates.
+def _embed_dataset_fused(encoder, dataset, batch_size):
+    """Hot path: fused kernels over a globally length-sorted batch plan."""
+    runtime = (encoder if isinstance(encoder, FusedEncoderRuntime)
+               else FusedEncoderRuntime(encoder))
+    return runtime.embed_dataset(dataset, batch_size=batch_size)
 
-    The paper deploys GRU encoders because a single state vector suffices
-    for incremental recomputation; we additionally support LSTM encoders
-    by carrying the (hidden, cell) pair.  Transformers cannot reuse prior
-    computation and are rejected.
+
+def embed_dataset(encoder, dataset, batch_size=64, runtime="auto"):
+    """Embed every sequence; returns ``(N, d)`` float array.
+
+    ``runtime`` selects the execution path:
+
+    - ``"auto"`` (default): fused kernels for recurrent encoders, Tensor
+      path otherwise;
+    - ``"fused"``: require the fused runtime (TypeError for transformers);
+    - ``"tensor"``: force the differentiable path (used by equivalence
+      tests and benchmarks).
+    """
+    if runtime not in ("auto", "fused", "tensor"):
+        raise ValueError("unknown runtime %r" % runtime)
+    if runtime == "tensor":
+        return _embed_dataset_tensor(encoder, dataset, batch_size)
+    if runtime == "fused" or isinstance(
+        encoder, (RnnSeqEncoder, FusedEncoderRuntime)
+    ):
+        return _embed_dataset_fused(encoder, dataset, batch_size)
+    return _embed_dataset_tensor(encoder, dataset, batch_size)
+
+
+class IncrementalEmbedder:
+    """Streaming embedding refresh for one encoder; the paper's ETL client.
+
+    A thin wrapper around :class:`repro.runtime.EmbeddingStore` kept for
+    API stability: ``update`` folds new events into the stored recurrent
+    state and returns the refreshed embedding, bit-equal to a full
+    recompute.  Transformers cannot reuse prior computation and are
+    rejected (the store raises TypeError).
     """
 
     def __init__(self, encoder):
-        if not isinstance(encoder, RnnSeqEncoder):
+        try:
+            self.store = EmbeddingStore(encoder)
+        except TypeError:
             raise TypeError(
                 "incremental inference requires a recurrent encoder "
                 "(got %s)" % type(encoder).__name__
-            )
-        self.encoder = encoder
-        self.encoder.eval()
-        self._states = {}
-        self._last_times = {}
-
-    @property
-    def _is_lstm(self):
-        return self.encoder.cell == "lstm"
+            ) from None
+        self.encoder = self.store.runtime.encoder
+        self.encoder.eval()  # seed-API behavior: embedders serve in eval mode
 
     def known_entities(self):
-        return sorted(self._states)
-
-    def _initial_state(self):
-        if self._is_lstm:
-            return (self.encoder.rnn.initial_state(1),
-                    self.encoder.rnn.initial_cell(1))
-        return self.encoder.rnn.initial_state(1)
+        return self.store.known_entities()
 
     def update(self, entity_id, events, schema):
-        """Fold new ``events`` (an :class:`EventSequence`) into the state.
-
-        Returns the refreshed embedding for the entity.  The previous
-        chunk's last timestamp is carried over so the boundary time-delta
-        feature matches a full recompute exactly.
-        """
-        if len(events) == 0:
-            raise ValueError("update requires at least one new event")
-        batch = collate([events], schema)
-        prev_time = self._last_times.get(entity_id)
-        prev_times = None if prev_time is None else np.array([prev_time])
-        with no_grad():
-            z = self.encoder.trx_encoder(batch, prev_times=prev_times)
-            state = self._states.get(entity_id)
-            if state is None:
-                state = self._initial_state()
-            for t in range(z.shape[1]):
-                state = self.encoder.rnn.step(z[:, t, :], state)
-        self._states[entity_id] = state
-        self._last_times[entity_id] = float(
-            events.fields[schema.time_field][-1]
-        )
-        return self.embedding(entity_id)
+        """Fold new ``events`` (an :class:`EventSequence`) into the state."""
+        return self.store.update(entity_id, events, schema)
 
     def embedding(self, entity_id):
         """Current embedding of the entity (unit-normalised if configured)."""
-        if entity_id not in self._states:
-            raise KeyError("unknown entity %r" % entity_id)
-        state = self._states[entity_id]
-        hidden = state[0] if self._is_lstm else state
-        with no_grad():
-            if self.encoder.normalize:
-                return F.l2_normalize(hidden).data[0].copy()
-        return hidden.data[0].copy()
+        return self.store.embedding(entity_id)

@@ -24,6 +24,9 @@ class TrainConfig:
     clip_norm: float = 5.0
     seed: int = 0
     verbose: bool = False
+    # Length-bucketing shuffle window (in batches) for the batch planner;
+    # None keeps the fully random order.
+    bucket_window: int = None
 
     def __post_init__(self):
         if self.num_epochs < 1:
@@ -77,7 +80,8 @@ class ContrastiveTrainer:
             losses = []
             started = time.perf_counter()
             for batch in coles_batches(dataset, self.strategy,
-                                       config.batch_size, rng):
+                                       config.batch_size, rng,
+                                       bucket_window=config.bucket_window):
                 loss = self.train_step(batch, optimizer, rng)
                 losses.append(loss)
             stats = EpochStats(

@@ -2,6 +2,12 @@
 
 from . import synthetic
 from .batches import PaddedBatch, collate, iterate_batches
+from .bucketing import (
+    bucketed_order,
+    iterate_bucketed_batches,
+    padded_step_fraction,
+    plan_batches,
+)
 from .schema import PADDING_CODE, EventSchema
 from .sequences import EventSequence, SequenceDataset
 from .split import stratified_kfold, subsample_labels, train_test_split
@@ -14,6 +20,10 @@ __all__ = [
     "PaddedBatch",
     "collate",
     "iterate_batches",
+    "plan_batches",
+    "bucketed_order",
+    "iterate_bucketed_batches",
+    "padded_step_fraction",
     "train_test_split",
     "stratified_kfold",
     "subsample_labels",

@@ -86,12 +86,22 @@ def collate(sequences, schema):
 
 
 def iterate_batches(sequences, schema, batch_size, rng=None, shuffle=True,
-                    drop_last=False):
+                    drop_last=False, bucket_window=None):
     """Yield :class:`PaddedBatch` objects over ``sequences``.
 
     Shuffles between epochs when ``rng`` is given; the generator covers one
-    epoch per call.
+    epoch per call.  ``bucket_window`` (in batches) enables the
+    length-bucketed planner of :mod:`repro.data.bucketing`: sequences are
+    sorted by length within each shuffle window so batches pad far less.
     """
+    if bucket_window is not None:
+        from .bucketing import iterate_bucketed_batches
+
+        yield from iterate_bucketed_batches(
+            sequences, schema, batch_size, rng=rng, shuffle=shuffle,
+            window_batches=bucket_window, drop_last=drop_last,
+        )
+        return
     order = np.arange(len(sequences))
     if shuffle:
         rng = rng or np.random.default_rng()

@@ -1,0 +1,100 @@
+"""Length-bucketed batch planning.
+
+Padded batches waste work on every step past a sequence's true length: a
+batch mixing a 10-event and a 200-event sequence runs 190 frozen steps for
+the short one.  The planner orders sequences so that batch-mates have
+similar lengths, eliminating most padded steps, while a *shuffle window*
+keeps enough randomness for training:
+
+1. shuffle all indices (when training);
+2. cut the shuffled order into windows of ``window_batches * batch_size``;
+3. sort each window by length, longest first;
+4. cut the concatenated windows into consecutive batches.
+
+``window_batches=None`` sorts globally (one window) — the right plan for
+inference, where batch composition is free to be anything because
+eval-mode encoders process sequences independently.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .batches import collate
+
+__all__ = [
+    "plan_batches",
+    "bucketed_order",
+    "iterate_bucketed_batches",
+    "padded_step_fraction",
+]
+
+
+def bucketed_order(lengths, batch_size, rng=None, shuffle=True,
+                   window_batches=8):
+    """Index order with similar-length sequences adjacent.
+
+    Returns a permutation of ``arange(len(lengths))``; consecutive slices
+    of ``batch_size`` form the planned batches.
+    """
+    lengths = np.asarray(lengths)
+    order = np.arange(len(lengths))
+    if shuffle:
+        rng = rng or np.random.default_rng()
+        rng.shuffle(order)
+    if window_batches is not None and window_batches < 1:
+        raise ValueError("window_batches must be >= 1 or None")
+    window = (max(len(order), 1) if window_batches is None
+              else int(window_batches) * int(batch_size))
+    pieces = []
+    for start in range(0, len(order), window):
+        chunk = order[start:start + window]
+        # Stable sort on negated lengths: longest first, ties keep the
+        # shuffled order.
+        pieces.append(chunk[np.argsort(-lengths[chunk], kind="stable")])
+    return np.concatenate(pieces) if pieces else order
+
+
+def plan_batches(lengths, batch_size, rng=None, shuffle=False,
+                 window_batches=None, drop_last=False):
+    """Plan length-bucketed batches; returns a list of index arrays.
+
+    Every input index appears in exactly one batch (unless ``drop_last``
+    trims a final short batch).
+    """
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    order = bucketed_order(lengths, batch_size, rng=rng, shuffle=shuffle,
+                           window_batches=window_batches)
+    batches = [order[start:start + batch_size]
+               for start in range(0, len(order), batch_size)]
+    if drop_last and batches and len(batches[-1]) < batch_size:
+        batches.pop()
+    return batches
+
+
+def iterate_bucketed_batches(sequences, schema, batch_size, rng=None,
+                             shuffle=True, window_batches=8,
+                             drop_last=False):
+    """Yield collated :class:`~repro.data.PaddedBatch` objects, bucketed.
+
+    Drop-in alternative to :func:`repro.data.iterate_batches` that pads
+    each batch only to its own (near-uniform) max length.
+    """
+    lengths = [len(seq) for seq in sequences]
+    for chunk in plan_batches(lengths, batch_size, rng=rng, shuffle=shuffle,
+                              window_batches=window_batches,
+                              drop_last=drop_last):
+        yield collate([sequences[i] for i in chunk], schema)
+
+
+def padded_step_fraction(lengths, batches):
+    """Fraction of padded (wasted) steps under a batch plan — plan telemetry."""
+    lengths = np.asarray(lengths)
+    total = 0
+    real = 0
+    for chunk in batches:
+        chunk_lengths = lengths[chunk]
+        total += int(chunk_lengths.max()) * len(chunk)
+        real += int(chunk_lengths.sum())
+    return 0.0 if total == 0 else 1.0 - real / total

@@ -68,6 +68,17 @@ class RnnSeqEncoder(SeqEncoder):
         states, last = self.rnn(events, mask=batch.mask)
         return states, self._head(last)
 
+    def fused_runtime(self):
+        """Graph-free serving runtime sharing this encoder's weights.
+
+        The returned :class:`~repro.runtime.FusedEncoderRuntime` reads the
+        parameters live, so it keeps serving the current weights after
+        further training.
+        """
+        from ..runtime import FusedEncoderRuntime
+
+        return FusedEncoderRuntime(self)
+
 
 class TransformerSeqEncoder(SeqEncoder):
     """Transformer sequence encoder (Table 3's third option)."""

@@ -79,13 +79,21 @@ class TrxEncoder(Module):
             columns.append(np.log1p(np.maximum(deltas, 0.0)))
         return np.stack(columns, axis=-1)
 
-    def forward(self, batch, prev_times=None):
+    def check_batch_schema(self, batch):
+        """Reject batches collated under a different schema.
+
+        Shared by the autograd forward and the fused serving kernels so
+        the validation cannot drift between the two paths.
+        """
         if batch.schema is not None and batch.schema != self.schema:
             raise ValueError(
                 "batch was collated under a different schema than this "
                 "encoder was built for (fields %s vs %s)"
                 % (sorted(batch.fields), list(self.schema.field_names))
             )
+
+    def forward(self, batch, prev_times=None):
+        self.check_batch_schema(batch)
         parts = []
         for name, _ in self.schema.categorical.items():
             parts.append(self.embeddings[name](batch.fields[name]))

@@ -21,8 +21,8 @@ from .layers import (
 )
 from .module import Module, ModuleDict, ModuleList, Parameter, Sequential
 from .optim import SGD, Adam, StepLR, clip_grad_norm
-from .rnn import GRU, LSTM
-from .serialization import load_state, save_state
+from .rnn import GRU, LSTM, CellWeights
+from .serialization import load_arrays, load_state, save_arrays, save_state
 from .tensor import Tensor, concat, is_grad_enabled, no_grad, stack, where
 from .transformer import (
     MultiHeadAttention,
@@ -56,6 +56,7 @@ __all__ = [
     "L2Normalize",
     "GRU",
     "LSTM",
+    "CellWeights",
     "MultiHeadAttention",
     "TransformerEncoder",
     "TransformerEncoderLayer",
@@ -66,4 +67,6 @@ __all__ = [
     "clip_grad_norm",
     "save_state",
     "load_state",
+    "save_arrays",
+    "load_arrays",
 ]

@@ -12,13 +12,51 @@ state at each sequence's true last event.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from . import init
 from .module import Module, Parameter
 from .tensor import Tensor, where
 
-__all__ = ["GRU", "LSTM"]
+__all__ = ["GRU", "LSTM", "CellWeights"]
+
+
+@dataclass
+class CellWeights:
+    """Plain-numpy view of a recurrent cell's parameters.
+
+    This is the single definition of the gate weight layout, shared by the
+    differentiable :class:`GRU`/:class:`LSTM` modules (training) and the
+    fused graph-free kernels in :mod:`repro.runtime.kernels` (serving).
+    Gates are stacked along axis 0 of ``weight_ih``/``weight_hh`` in the
+    PyTorch order: ``r, z, n`` for GRU and ``i, f, g, o`` for LSTM.
+
+    The arrays are *references* to the live parameter buffers, not copies;
+    export cheaply and re-export after optimiser steps (optimisers rebind
+    ``param.data``).
+    """
+
+    kind: str                  # "gru" | "lstm"
+    weight_ih: np.ndarray      # (num_gates * H, D)
+    weight_hh: np.ndarray      # (num_gates * H, H)
+    bias_ih: np.ndarray        # (num_gates * H,)
+    bias_hh: np.ndarray        # (num_gates * H,)
+    init_state: np.ndarray     # (H,) — the learnt c_0 (zeros if not learnt)
+    init_cell: np.ndarray = None  # (H,), LSTM only
+
+    @property
+    def hidden_size(self):
+        return self.weight_hh.shape[1]
+
+    @property
+    def input_size(self):
+        return self.weight_ih.shape[1]
+
+    @property
+    def num_gates(self):
+        return self.weight_ih.shape[0] // self.hidden_size
 
 
 class _RecurrentBase(Module):
@@ -66,6 +104,29 @@ class _RecurrentBase(Module):
         x_parts = [xi[:, i * size:(i + 1) * size] for i in range(self.num_gates)]
         h_parts = [hi[:, i * size:(i + 1) * size] for i in range(self.num_gates)]
         return x_parts, h_parts
+
+    def export_weights(self):
+        """Export the cell parameters as a :class:`CellWeights` view.
+
+        The fused inference kernels consume this instead of re-declaring
+        the gate layout; both execution paths therefore share one weight
+        format by construction.
+        """
+        hidden = self.hidden_size
+        zeros = np.zeros(hidden)
+        init_cell = getattr(self, "init_cell", None)
+        return CellWeights(
+            kind="lstm" if self.num_gates == 4 else "gru",
+            weight_ih=self.weight_ih.data,
+            weight_hh=self.weight_hh.data,
+            bias_ih=self.bias_ih.data,
+            bias_hh=self.bias_hh.data,
+            init_state=zeros if self.init_state is None else self.init_state.data,
+            init_cell=(
+                None if self.num_gates != 4
+                else (zeros if init_cell is None else init_cell.data)
+            ),
+        )
 
 
 class GRU(_RecurrentBase):

@@ -1,10 +1,10 @@
-"""Save/load model state dicts as ``.npz`` archives."""
+"""Save/load model state dicts (and generic array bundles) as ``.npz``."""
 
 from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["save_state", "load_state"]
+__all__ = ["save_state", "load_state", "save_arrays", "load_arrays"]
 
 
 def save_state(module, path):
@@ -19,3 +19,19 @@ def load_state(module, path):
         state = {key: archive[key] for key in archive.files}
     module.load_state_dict(state)
     return module
+
+
+def save_arrays(path, arrays):
+    """Write a flat name -> ndarray mapping to ``path`` (npz).
+
+    Shares the archive format with :func:`save_state` but carries arbitrary
+    serving-side state — e.g. the per-entity recurrent states of an
+    :class:`~repro.runtime.EmbeddingStore` snapshot.
+    """
+    np.savez(path, **{key: np.asarray(value) for key, value in arrays.items()})
+
+
+def load_arrays(path):
+    """Read back a mapping written by :func:`save_arrays`."""
+    with np.load(path) as archive:
+        return {key: archive[key] for key in archive.files}

@@ -1,0 +1,20 @@
+"""Serving runtime: fused inference kernels + per-entity embedding store.
+
+The train/serve split of the codebase:
+
+- **training** runs through the autograd :mod:`repro.nn` substrate
+  (differentiable, one graph node per op);
+- **serving** runs through this package — graph-free fused numpy kernels
+  (:mod:`~repro.runtime.kernels`) driven by a
+  :class:`~repro.runtime.FusedEncoderRuntime`, with per-entity state owned
+  by an :class:`~repro.runtime.EmbeddingStore`.
+
+Both paths share one weight layout (:class:`repro.nn.CellWeights`) and are
+equivalent to < 1e-10, which the test-suite asserts property-style.
+"""
+
+from . import kernels
+from .engine import FusedEncoderRuntime
+from .store import EmbeddingStore
+
+__all__ = ["kernels", "FusedEncoderRuntime", "EmbeddingStore"]

@@ -1,0 +1,119 @@
+"""The fused inference engine: one encoder, two execution paths.
+
+:class:`FusedEncoderRuntime` wraps a trained :class:`RnnSeqEncoder` and
+runs its forward pass through the graph-free kernels of
+:mod:`repro.runtime.kernels`.  Weights are read through the
+:meth:`~repro.nn.rnn._RecurrentBase.export_weights` view on every call, so
+the runtime always serves the encoder's current parameters — fine-tune,
+then keep serving, no re-wrap needed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.batches import collate
+from ..data.bucketing import plan_batches
+from ..encoders.seq_encoder import RnnSeqEncoder
+from . import kernels
+
+__all__ = ["FusedEncoderRuntime"]
+
+
+class FusedEncoderRuntime:
+    """Graph-free serving runtime for a recurrent sequence encoder.
+
+    Raises ``TypeError`` for non-recurrent encoders: the fused kernels (and
+    the incremental state carry they enable) are recurrence-specific, which
+    is exactly why the paper deploys GRUs (Section 4.3.1).
+
+    The encoder's train/eval mode is left untouched: the kernels always
+    read the batch-norm *running* statistics (eval semantics), so the
+    runtime serves correctly even mid-training and never freezes the
+    encoder's training-mode statistics as a side effect.
+    """
+
+    def __init__(self, encoder):
+        if not isinstance(encoder, RnnSeqEncoder):
+            raise TypeError(
+                "the fused runtime requires a recurrent encoder "
+                "(got %s)" % type(encoder).__name__
+            )
+        self.encoder = encoder
+
+    # ------------------------------------------------------------------
+    @property
+    def is_lstm(self):
+        return self.encoder.cell == "lstm"
+
+    @property
+    def output_dim(self):
+        return self.encoder.output_dim
+
+    def weights(self):
+        """Fresh :class:`~repro.nn.CellWeights` view of the live parameters."""
+        return self.encoder.rnn.export_weights()
+
+    # ------------------------------------------------------------------
+    def encode_events(self, batch, prev_times=None):
+        """Event representations ``z_t`` as raw ``(B, T, D)`` numpy."""
+        return kernels.encode_events(self.encoder.trx_encoder, batch,
+                                     prev_times=prev_times)
+
+    def forward(self, batch, initial=None, prev_times=None,
+                return_outputs=False):
+        """Run the recurrence over a padded batch.
+
+        Returns ``(outputs, last_state)`` where ``last_state`` is ``(B, H)``
+        (or an ``(h, c)`` pair for LSTM) *before* the normalisation head —
+        this is the state to persist for incremental updates.
+        """
+        events = self.encode_events(batch, prev_times=prev_times)
+        return kernels.rnn_forward(self.weights(), events,
+                                   lengths=batch.lengths, initial=initial,
+                                   return_outputs=return_outputs)
+
+    def hidden_of(self, state):
+        """The ``(B, H)`` hidden buffer of a state (drops the LSTM cell)."""
+        return state[0] if self.is_lstm else state
+
+    def head(self, hidden):
+        """Embedding head on ``(B, H)`` hidden states: l2 when configured."""
+        if self.encoder.normalize:
+            return kernels.l2_normalize_rows(hidden)
+        return np.array(hidden, copy=True)
+
+    def embed_batch(self, batch):
+        """Whole-sequence embeddings for a padded batch, ``(B, d)`` numpy."""
+        _, last = self.forward(batch)
+        return self.head(self.hidden_of(last))
+
+    def run_dataset(self, dataset, batch_size=64):
+        """Run the whole dataset under a length-sorted batch plan.
+
+        Yields ``(indices, sequences, final_state)`` per planned batch —
+        the single bulk loop shared by :func:`repro.core.embed_dataset`
+        and :meth:`repro.runtime.EmbeddingStore.bulk_load`.
+        """
+        for chunk in plan_batches(dataset.lengths(), batch_size):
+            sequences = [dataset.sequences[i] for i in chunk]
+            batch = collate(sequences, dataset.schema)
+            _, last = self.forward(batch)
+            yield chunk, sequences, last
+
+    def embed_dataset(self, dataset, batch_size=64):
+        """Bulk embeddings ``(N, d)`` in dataset order."""
+        embeddings = np.zeros((len(dataset), self.output_dim))
+        for chunk, _, last in self.run_dataset(dataset, batch_size):
+            embeddings[chunk] = self.head(self.hidden_of(last))
+        return embeddings
+
+    def advance(self, batch, initial=None, prev_times=None):
+        """Fold a chunk of new events into per-entity states.
+
+        Like :meth:`forward` but named for the streaming use: the returned
+        state is ``c_{t+k}`` computed from ``c_t`` (``initial``) and the new
+        events only — the paper's incremental ETL property.
+        """
+        _, last = self.forward(batch, initial=initial, prev_times=prev_times)
+        return last

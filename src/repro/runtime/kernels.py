@@ -1,0 +1,233 @@
+"""Fused, graph-free numpy kernels for the inference hot path.
+
+Training runs through the autograd :class:`~repro.nn.Tensor`, which builds
+one Python graph node per op and per timestep.  Serving does not need
+gradients, so these kernels drop to raw float64 numpy:
+
+- the input projection of *all* timesteps is computed as one matmul
+  (``(B*T, D) @ (D, G*H)``) instead of T small ones;
+- per step only the hidden projection remains, written into preallocated
+  hidden buffers;
+- padding is never computed when the batch is sorted by length (the batch
+  planner's output): each step operates on the *active* row prefix only —
+  the numpy analogue of cuDNN's packed sequences.  Unsorted batches fall
+  back to mask-freezing, exactly like the Tensor path.
+
+Every kernel follows the same op order and formulas as the differentiable
+modules, so outputs agree with the Tensor path to float64 rounding
+(< 1e-10 — asserted by ``tests/runtime/test_fused_equivalence.py``).
+
+Weight layout is *not* re-declared here: kernels consume the
+:class:`~repro.nn.CellWeights` view exported by the ``nn.rnn`` modules.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "sigmoid",
+    "l2_normalize_rows",
+    "rnn_forward",
+    "gru_forward",
+    "lstm_forward",
+    "encode_events",
+]
+
+
+def sigmoid(x):
+    """Logistic function, same formula as ``Tensor.sigmoid``."""
+    return 1.0 / (1.0 + np.exp(-x))
+
+
+def l2_normalize_rows(x, eps=1e-12):
+    """Unit-normalise rows; mirrors ``nn.functional.l2_normalize``."""
+    norm = np.sqrt(np.maximum((x * x).sum(axis=-1, keepdims=True), eps))
+    return x / norm
+
+
+def _input_gates(weights, x):
+    """Fused input projection of all timesteps: ``(B, T, D) -> (B, T, G*H)``."""
+    batch, steps, dim = x.shape
+    flat = x.reshape(batch * steps, dim) @ weights.weight_ih.T + weights.bias_ih
+    return flat.reshape(batch, steps, -1)
+
+
+def _initial(vector, batch):
+    """Broadcast a learnt ``(H,)`` initial state to a ``(B, H)`` buffer."""
+    return np.tile(np.asarray(vector, dtype=np.float64), (batch, 1))
+
+
+def _active_counts(lengths, steps):
+    """Per-step active row count for a batch sorted longest-first.
+
+    Returns None when the batch is not sorted by non-increasing length
+    (the caller then uses the mask-freezing path).
+    """
+    if lengths is None:
+        return None
+    lengths = np.asarray(lengths)
+    if len(lengths) > 1 and np.any(np.diff(lengths) > 0):
+        return None
+    return np.count_nonzero(
+        lengths[:, None] > np.arange(steps)[None, :], axis=0
+    )
+
+
+def _mask_from_lengths(lengths, steps):
+    return np.arange(steps)[None, :] < np.asarray(lengths)[:, None]
+
+
+def gru_forward(weights, x, lengths=None, mask=None, initial=None,
+                return_outputs=False):
+    """Fused GRU forward over a padded batch.
+
+    Parameters
+    ----------
+    weights:
+        A :class:`~repro.nn.CellWeights` with ``kind == "gru"``.
+    x:
+        Event representations ``(B, T, D)`` (raw numpy).
+    lengths:
+        True sequence lengths ``(B,)``.  When sorted longest-first (the
+        batch planner's output) each step runs on the active prefix only.
+    mask:
+        Optional boolean ``(B, T)``; used when ``lengths`` is absent or
+        unsorted.  False entries freeze the state.
+    initial:
+        Optional ``(B, H)`` state overriding the learnt c_0.
+    return_outputs:
+        When True also return the per-step states ``(B, T, H)``.
+
+    Returns
+    -------
+    (outputs, last): outputs is None unless requested; last is ``(B, H)``,
+    the state after each sequence's final real event.
+    """
+    batch, steps, _ = x.shape
+    size = weights.hidden_size
+    hidden = (np.array(initial, dtype=np.float64, copy=True)
+              if initial is not None else _initial(weights.init_state, batch))
+    gates_x = _input_gates(weights, x)
+    outputs = np.empty((batch, steps, size)) if return_outputs else None
+    w_hh_t = weights.weight_hh.T
+    bias_hh = weights.bias_hh
+    counts = _active_counts(lengths, steps)
+    if counts is None and lengths is not None and mask is None:
+        mask = _mask_from_lengths(lengths, steps)
+    for t in range(steps):
+        active = batch if counts is None else int(counts[t])
+        if active == 0:
+            if outputs is not None:
+                outputs[:, t:] = hidden[:, None, :]
+            break
+        h_act = hidden[:active]
+        gx = gates_x[:active, t]
+        gh = h_act @ w_hh_t + bias_hh
+        # One sigmoid over the contiguous (r, z) block — identical
+        # elementwise values, half the ufunc dispatches.
+        gates = sigmoid(gx[:, :2 * size] + gh[:, :2 * size])
+        reset = gates[:, :size]
+        update = gates[:, size:]
+        candidate = np.tanh(gx[:, 2 * size:] + reset * gh[:, 2 * size:])
+        new_hidden = (1.0 - update) * candidate + update * h_act
+        if counts is None and mask is not None:
+            hidden = np.where(mask[:, t:t + 1], new_hidden, hidden)
+        elif active == batch:
+            hidden = new_hidden
+        else:
+            hidden[:active] = new_hidden
+        if outputs is not None:
+            outputs[:, t] = hidden
+    return outputs, hidden
+
+
+def lstm_forward(weights, x, lengths=None, mask=None, initial=None,
+                 return_outputs=False):
+    """Fused LSTM forward; ``initial`` and the final state are (h, c) pairs.
+
+    Same contract as :func:`gru_forward`.
+    """
+    batch, steps, _ = x.shape
+    size = weights.hidden_size
+    if initial is not None:
+        hidden = np.array(initial[0], dtype=np.float64, copy=True)
+        cell = np.array(initial[1], dtype=np.float64, copy=True)
+    else:
+        hidden = _initial(weights.init_state, batch)
+        cell = _initial(weights.init_cell, batch)
+    gates_x = _input_gates(weights, x)
+    outputs = np.empty((batch, steps, size)) if return_outputs else None
+    w_hh_t = weights.weight_hh.T
+    bias_hh = weights.bias_hh
+    counts = _active_counts(lengths, steps)
+    if counts is None and lengths is not None and mask is None:
+        mask = _mask_from_lengths(lengths, steps)
+    for t in range(steps):
+        active = batch if counts is None else int(counts[t])
+        if active == 0:
+            if outputs is not None:
+                outputs[:, t:] = hidden[:, None, :]
+            break
+        h_act = hidden[:active]
+        c_act = cell[:active]
+        gx = gates_x[:active, t]
+        gh = h_act @ w_hh_t + bias_hh
+        # One sigmoid over the contiguous (i, f) block — identical
+        # elementwise values, fewer ufunc dispatches.
+        gates = sigmoid(gx[:, :2 * size] + gh[:, :2 * size])
+        in_gate = gates[:, :size]
+        forget = gates[:, size:]
+        candidate = np.tanh(gx[:, 2 * size:3 * size] + gh[:, 2 * size:3 * size])
+        out_gate = sigmoid(gx[:, 3 * size:] + gh[:, 3 * size:])
+        new_cell = forget * c_act + in_gate * candidate
+        new_hidden = out_gate * np.tanh(new_cell)
+        if counts is None and mask is not None:
+            step_mask = mask[:, t:t + 1]
+            hidden = np.where(step_mask, new_hidden, hidden)
+            cell = np.where(step_mask, new_cell, cell)
+        elif active == batch:
+            hidden, cell = new_hidden, new_cell
+        else:
+            hidden[:active] = new_hidden
+            cell[:active] = new_cell
+        if outputs is not None:
+            outputs[:, t] = hidden
+    return outputs, (hidden, cell)
+
+
+def rnn_forward(weights, x, lengths=None, mask=None, initial=None,
+                return_outputs=False):
+    """Dispatch to the fused GRU or LSTM kernel by ``weights.kind``."""
+    if weights.kind == "gru":
+        return gru_forward(weights, x, lengths=lengths, mask=mask,
+                           initial=initial, return_outputs=return_outputs)
+    if weights.kind == "lstm":
+        return lstm_forward(weights, x, lengths=lengths, mask=mask,
+                            initial=initial, return_outputs=return_outputs)
+    raise ValueError("unknown cell kind %r" % weights.kind)
+
+
+def encode_events(trx_encoder, batch, prev_times=None):
+    """Graph-free event encoding: the eval-mode ``TrxEncoder`` as raw numpy.
+
+    Embedding lookups read the tables directly and batch norm applies the
+    running statistics, which is exactly the Tensor path in eval mode
+    (training-mode statistics are a training concern and never used when
+    serving).  Returns ``(B, T, D)`` float64.
+    """
+    trx_encoder.check_batch_schema(batch)
+    parts = []
+    for name in trx_encoder.schema.categorical:
+        table = trx_encoder.embeddings[name].weight.data
+        parts.append(table[batch.fields[name]])
+    norm = trx_encoder.numeric_norm
+    if norm is not None:
+        numeric = trx_encoder._numeric_array(batch, prev_times=prev_times)
+        scaled = (numeric - norm.running_mean) / np.sqrt(
+            norm.running_var + norm.eps
+        )
+        parts.append(scaled * norm.weight.data + norm.bias.data)
+    if not parts:
+        raise ValueError("schema has no event fields to encode")
+    return np.concatenate(parts, axis=-1) if len(parts) > 1 else parts[0]

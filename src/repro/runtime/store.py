@@ -1,0 +1,187 @@
+"""The serving-side state store: per-entity embeddings + recurrent states.
+
+Section 4.3.1 of the paper describes the production ETL: embed every
+entity's history once in bulk, then *refresh incrementally* as new events
+arrive — a recurrent encoder needs only the stored state ``c_t`` and the
+new events to produce ``c_{t+k}``.  :class:`EmbeddingStore` owns that
+state:
+
+- :meth:`bulk_load` embeds a whole dataset through the fused runtime with
+  a globally length-sorted batch plan (near-zero padded steps) and records
+  every entity's final state;
+- :meth:`update` folds a chunk of new events into one entity's state,
+  bit-equal to a full recompute (the boundary time-delta is carried over);
+- :meth:`snapshot` / :meth:`restore` persist the store between ETL runs
+  via the shared ``.npz`` serialization layer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.batches import collate
+from ..nn.serialization import load_arrays, save_arrays
+from .engine import FusedEncoderRuntime
+
+__all__ = ["EmbeddingStore"]
+
+
+class EmbeddingStore:
+    """Per-entity embedding/state registry backed by a fused runtime.
+
+    Parameters
+    ----------
+    encoder:
+        A trained :class:`~repro.encoders.RnnSeqEncoder`, or an already
+        constructed :class:`FusedEncoderRuntime`.
+    """
+
+    def __init__(self, encoder):
+        if isinstance(encoder, FusedEncoderRuntime):
+            self.runtime = encoder
+        else:
+            self.runtime = FusedEncoderRuntime(encoder)
+        self._hidden = {}      # entity id -> (H,) float64
+        self._cell = {}        # entity id -> (H,) float64 (LSTM only)
+        self._last_times = {}  # entity id -> float timestamp of last event
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def __len__(self):
+        return len(self._hidden)
+
+    def __contains__(self, entity_id):
+        return entity_id in self._hidden
+
+    def known_entities(self):
+        return sorted(self._hidden)
+
+    def last_time(self, entity_id):
+        """Timestamp of the entity's most recent folded event (or None)."""
+        return self._last_times.get(entity_id)
+
+    # ------------------------------------------------------------------
+    # bulk path
+    # ------------------------------------------------------------------
+    def bulk_load(self, dataset, batch_size=64):
+        """Embed every sequence of ``dataset`` and persist all final states.
+
+        Batches follow a globally length-sorted plan, so each batch pads
+        to a near-uniform length.  Returns the ``(N, d)`` embedding matrix
+        in dataset order.
+        """
+        embeddings = np.zeros((len(dataset), self.runtime.output_dim))
+        for chunk, sequences, last in self.runtime.run_dataset(dataset,
+                                                              batch_size):
+            hidden = self.runtime.hidden_of(last)
+            embeddings[chunk] = self.runtime.head(hidden)
+            for row, seq in enumerate(sequences):
+                self._hidden[seq.seq_id] = hidden[row].copy()
+                if self.runtime.is_lstm:
+                    self._cell[seq.seq_id] = last[1][row].copy()
+                self._last_times[seq.seq_id] = float(
+                    seq.fields[dataset.schema.time_field][-1]
+                )
+        return embeddings
+
+    # ------------------------------------------------------------------
+    # incremental path
+    # ------------------------------------------------------------------
+    def _state_rows(self, entity_id):
+        """The entity's stored state as (1, H) buffers, or None if new."""
+        hidden = self._hidden.get(entity_id)
+        if hidden is None:
+            return None
+        if self.runtime.is_lstm:
+            return hidden[None, :], self._cell[entity_id][None, :]
+        return hidden[None, :]
+
+    def update(self, entity_id, events, schema):
+        """Fold new ``events`` (an :class:`EventSequence`) into the state.
+
+        Returns the refreshed embedding.  The previous chunk's last
+        timestamp seeds the boundary time-delta so the result matches a
+        full recompute exactly.
+        """
+        if len(events) == 0:
+            raise ValueError("update requires at least one new event")
+        batch = collate([events], schema)
+        prev_time = self._last_times.get(entity_id)
+        prev_times = None if prev_time is None else np.array([prev_time])
+        state = self.runtime.advance(batch, initial=self._state_rows(entity_id),
+                                     prev_times=prev_times)
+        if self.runtime.is_lstm:
+            self._hidden[entity_id] = state[0][0].copy()
+            self._cell[entity_id] = state[1][0].copy()
+        else:
+            self._hidden[entity_id] = state[0].copy()
+        self._last_times[entity_id] = float(
+            events.fields[schema.time_field][-1]
+        )
+        return self.embedding(entity_id)
+
+    def embedding(self, entity_id):
+        """Current embedding of one entity, ``(d,)``."""
+        if entity_id not in self._hidden:
+            raise KeyError("unknown entity %r" % entity_id)
+        hidden = self._hidden[entity_id][None, :]
+        return self.runtime.head(hidden)[0]
+
+    def embeddings(self, entity_ids=None):
+        """Embedding matrix for ``entity_ids`` (default: all known, sorted)."""
+        if entity_ids is None:
+            entity_ids = self.known_entities()
+        if not len(entity_ids):
+            return np.zeros((0, self.runtime.output_dim))
+        hidden = np.stack([self._state_row_checked(e) for e in entity_ids])
+        return self.runtime.head(hidden)
+
+    def _state_row_checked(self, entity_id):
+        if entity_id not in self._hidden:
+            raise KeyError("unknown entity %r" % entity_id)
+        return self._hidden[entity_id]
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def snapshot(self, path):
+        """Write all per-entity states to ``path`` (npz)."""
+        ids = self.known_entities()
+        arrays = {
+            "entity_ids": np.asarray(ids),
+            "hidden": (np.stack([self._hidden[e] for e in ids]) if ids
+                       else np.zeros((0, self.runtime.output_dim))),
+            "last_times": np.asarray([self._last_times[e] for e in ids]),
+            "kind": np.asarray("lstm" if self.runtime.is_lstm else "gru"),
+        }
+        if self.runtime.is_lstm:
+            arrays["cell"] = (np.stack([self._cell[e] for e in ids]) if ids
+                              else np.zeros((0, self.runtime.output_dim)))
+        save_arrays(path, arrays)
+
+    def restore(self, path):
+        """Load a snapshot written by :meth:`snapshot`; returns self."""
+        arrays = load_arrays(path)
+        kind = str(arrays["kind"])
+        expected = "lstm" if self.runtime.is_lstm else "gru"
+        if kind != expected:
+            raise ValueError(
+                "snapshot holds %s states but the runtime encoder is %s"
+                % (kind, expected)
+            )
+        hidden = arrays["hidden"]
+        if hidden.shape[1:] != (self.runtime.output_dim,):
+            raise ValueError(
+                "snapshot state width %s does not match encoder hidden size %d"
+                % (hidden.shape[1:], self.runtime.output_dim)
+            )
+        self._hidden = {}
+        self._cell = {}
+        self._last_times = {}
+        for row, entity_id in enumerate(arrays["entity_ids"].tolist()):
+            self._hidden[entity_id] = hidden[row].copy()
+            if self.runtime.is_lstm:
+                self._cell[entity_id] = arrays["cell"][row].copy()
+            self._last_times[entity_id] = float(arrays["last_times"][row])
+        return self

@@ -1,0 +1,125 @@
+"""The length-bucketed batch planner: coverage, ordering, padding wins."""
+
+import numpy as np
+import pytest
+
+from repro.augmentations import RandomSlices
+from repro.baselines import PretrainConfig, pretrain_batches
+from repro.core.batching import coles_batches
+from repro.data import iterate_batches
+from repro.data.bucketing import (
+    bucketed_order,
+    iterate_bucketed_batches,
+    padded_step_fraction,
+    plan_batches,
+)
+from repro.data.synthetic import make_churn_dataset
+
+
+@pytest.fixture(scope="module")
+def skewed_lengths():
+    rng = np.random.default_rng(0)
+    return np.concatenate([
+        rng.integers(5, 15, size=60),
+        rng.integers(50, 70, size=30),
+        rng.integers(200, 400, size=10),
+    ])
+
+
+class TestPlan:
+    def test_covers_every_index_once(self, skewed_lengths):
+        for window in (None, 1, 4):
+            batches = plan_batches(skewed_lengths, 16, shuffle=True,
+                                   rng=np.random.default_rng(1),
+                                   window_batches=window)
+            flat = np.concatenate(batches)
+            assert sorted(flat.tolist()) == list(range(len(skewed_lengths)))
+
+    def test_global_sort_when_no_window(self, skewed_lengths):
+        batches = plan_batches(skewed_lengths, 16)
+        order = np.concatenate(batches)
+        assert (np.diff(skewed_lengths[order]) <= 0).all()
+
+    def test_windows_sorted_internally(self, skewed_lengths):
+        window = 2
+        batch_size = 8
+        order = bucketed_order(skewed_lengths, batch_size,
+                               rng=np.random.default_rng(2),
+                               window_batches=window)
+        span = window * batch_size
+        for start in range(0, len(order), span):
+            chunk = skewed_lengths[order[start:start + span]]
+            assert (np.diff(chunk) <= 0).all()
+
+    def test_drop_last(self, skewed_lengths):
+        batches = plan_batches(skewed_lengths, 16, drop_last=True)
+        assert all(len(chunk) == 16 for chunk in batches)
+
+    def test_validation(self, skewed_lengths):
+        with pytest.raises(ValueError):
+            plan_batches(skewed_lengths, 0)
+        with pytest.raises(ValueError):
+            plan_batches(skewed_lengths, 8, window_batches=0)
+
+    def test_bucketing_reduces_padding(self, skewed_lengths):
+        rng = np.random.default_rng(3)
+        shuffled = np.arange(len(skewed_lengths))
+        rng.shuffle(shuffled)
+        naive = [shuffled[start:start + 16]
+                 for start in range(0, len(shuffled), 16)]
+        bucketed = plan_batches(skewed_lengths, 16, shuffle=True,
+                                rng=np.random.default_rng(3),
+                                window_batches=2)
+        global_sort = plan_batches(skewed_lengths, 16)
+        waste_naive = padded_step_fraction(skewed_lengths, naive)
+        waste_bucketed = padded_step_fraction(skewed_lengths, bucketed)
+        waste_global = padded_step_fraction(skewed_lengths, global_sort)
+        assert waste_bucketed < waste_naive
+        assert waste_global <= waste_bucketed
+
+
+class TestIterators:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return make_churn_dataset(num_clients=30, mean_length=40,
+                                  min_length=5, max_length=120, seed=0)
+
+    def test_iterate_bucketed_batches_covers_dataset(self, dataset):
+        seen = []
+        for batch in iterate_bucketed_batches(dataset.sequences,
+                                              dataset.schema, 8,
+                                              rng=np.random.default_rng(0)):
+            assert batch.max_length == batch.lengths.max()
+            seen.extend(batch.seq_ids.tolist())
+        assert sorted(seen) == sorted(s.seq_id for s in dataset)
+
+    def test_iterate_batches_delegates(self, dataset):
+        rng_a = np.random.default_rng(5)
+        rng_b = np.random.default_rng(5)
+        direct = [b.seq_ids.tolist() for b in iterate_bucketed_batches(
+            dataset.sequences, dataset.schema, 8, rng=rng_a,
+            window_batches=2)]
+        via = [b.seq_ids.tolist() for b in iterate_batches(
+            dataset.sequences, dataset.schema, 8, rng=rng_b,
+            bucket_window=2)]
+        assert direct == via
+
+    def test_coles_batches_bucketed_keeps_pair_semantics(self, dataset):
+        strategy = RandomSlices(5, 40, 3)
+        rng = np.random.default_rng(0)
+        entity_ids = set()
+        for batch in coles_batches(dataset, strategy, 8, rng,
+                                   bucket_window=2):
+            ids, counts = np.unique(batch.seq_ids, return_counts=True)
+            assert len(ids) >= 2            # negatives exist
+            assert (counts >= 2).all()      # every entity has >= 2 views
+            entity_ids.update(ids.tolist())
+        assert len(entity_ids) == len(dataset)
+
+    def test_pretrain_batches_respects_config(self, dataset):
+        config = PretrainConfig(batch_size=8, bucket_window=2)
+        rng = np.random.default_rng(0)
+        seen = []
+        for batch in pretrain_batches(dataset, config, rng):
+            seen.extend(batch.seq_ids.tolist())
+        assert sorted(seen) == sorted(s.seq_id for s in dataset)
