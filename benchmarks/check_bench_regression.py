@@ -1,0 +1,63 @@
+"""CI gate: fail when a recorded throughput regresses vs the baseline.
+
+Compares one dotted key (events/sec) between the committed baseline
+``BENCH_*.json`` and a freshly regenerated one::
+
+    python benchmarks/check_bench_regression.py \
+        --baseline /tmp/bench_baseline.json \
+        --current BENCH_inference.json \
+        --key events_per_sec.fused_bucketed \
+        --tolerance 0.30
+
+Exits non-zero when ``current < baseline * (1 - tolerance)``.  The
+tolerance absorbs shared-runner noise; a real hot-path regression (losing
+the packed-kernel fast path, the bucketed plan, or micro-batched ingest)
+overshoots 30% by a wide margin.
+"""
+
+import argparse
+import json
+import sys
+
+
+def lookup(results, dotted_key):
+    value = results
+    for part in dotted_key.split("."):
+        if not isinstance(value, dict) or part not in value:
+            raise KeyError("key %r not found (missing part: %r)"
+                           % (dotted_key, part))
+        value = value[part]
+    return float(value)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True,
+                        help="committed BENCH_*.json to gate against")
+    parser.add_argument("--current", required=True,
+                        help="freshly regenerated BENCH_*.json")
+    parser.add_argument("--key", default="events_per_sec.fused_bucketed",
+                        help="dotted path of the throughput to compare")
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        help="allowed fractional regression (default 0.30)")
+    args = parser.parse_args(argv)
+
+    with open(args.baseline) as handle:
+        baseline = lookup(json.load(handle), args.key)
+    with open(args.current) as handle:
+        current = lookup(json.load(handle), args.key)
+
+    floor = baseline * (1.0 - args.tolerance)
+    ratio = current / baseline if baseline else float("inf")
+    print("%s: baseline %.0f ev/s, current %.0f ev/s (%.2fx), floor %.0f"
+          % (args.key, baseline, current, ratio, floor))
+    if current < floor:
+        print("FAIL: regressed more than %.0f%% vs the committed baseline"
+              % (100 * args.tolerance))
+        return 1
+    print("OK: within the regression budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

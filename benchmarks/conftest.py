@@ -3,9 +3,19 @@
 Every benchmark regenerates one table or figure of the paper and prints a
 paper-vs-measured comparison.  Experiments are deterministic and heavy, so
 each runs exactly once (``pedantic`` with one round).
+
+Perf benchmarks additionally persist their telemetry through the
+``bench_record`` fixture: one ``BENCH_<name>.json`` per benchmark at the
+repo root, committed as the baseline that CI's ``bench`` job gates
+against (see ``benchmarks/check_bench_regression.py``).
 """
 
+import json
+import os
+
 import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 
 @pytest.fixture
@@ -17,3 +27,22 @@ def run_once(benchmark):
                                   rounds=1, iterations=1)
 
     return runner
+
+
+@pytest.fixture
+def bench_record():
+    """Write one benchmark's results to ``BENCH_<name>.json`` at repo root.
+
+    The single write path for perf telemetry: stable key order and layout,
+    so committed baselines diff cleanly across PRs and CI's regression
+    gate can parse any of them the same way.  Returns the path written.
+    """
+
+    def record(name, results):
+        path = os.path.join(REPO_ROOT, "BENCH_%s.json" % name)
+        with open(path, "w") as handle:
+            json.dump(results, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        return path
+
+    return record

@@ -8,7 +8,6 @@ Two production properties of the paper:
 
 import numpy as np
 
-from repro.baselines import handcrafted_features
 from repro.core import (
     embed_dataset,
     quantize_embeddings,

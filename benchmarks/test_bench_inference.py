@@ -11,17 +11,15 @@ refactor —
   max) vs the length-bucketed planner of :mod:`repro.data.bucketing`;
 
 — plus the per-event cost of incremental refresh through the
-:class:`~repro.runtime.EmbeddingStore`.  Results are written to
-``BENCH_inference.json`` at the repo root so the perf trajectory is
-tracked across PRs.
+:class:`~repro.runtime.EmbeddingStore`.  Results are recorded through the
+``bench_record`` fixture to ``BENCH_inference.json`` at the repo root so
+the perf trajectory is tracked across PRs (and gated by CI's bench job).
 
 The workload is deliberately length-skewed (light/medium/heavy user
 cohorts): that is what production transaction populations look like, and
 it is where naive padding wastes the most work.
 """
 
-import json
-import os
 import time
 
 import numpy as np
@@ -34,9 +32,6 @@ from repro.data.synthetic import make_churn_dataset
 from repro.encoders import build_encoder
 from repro.eval import ComparisonTable
 from repro.runtime import EmbeddingStore, FusedEncoderRuntime
-
-RESULT_PATH = os.path.join(os.path.dirname(__file__), os.pardir,
-                           "BENCH_inference.json")
 
 # (clients, mean events) cohorts: many light users, a heavy tail.
 COHORTS = [(160, 20), (100, 80), (40, 350)]
@@ -67,7 +62,7 @@ def _best_of(func, repeats=3):
     return result, best
 
 
-def test_inference_throughput(run_once):
+def test_inference_throughput(run_once, bench_record):
     def experiment():
         dataset = _longtail_dataset()
         events = int(dataset.lengths().sum())
@@ -131,8 +126,7 @@ def test_inference_throughput(run_once):
                 "total_vs_seed": tensor_s / fused_s,
             },
         }
-        with open(RESULT_PATH, "w") as handle:
-            json.dump(results, handle, indent=2, sort_keys=True)
+        bench_record("inference", results)
 
         table = ComparisonTable(
             "Serving throughput: fused runtime + bucketed planner",

@@ -4,7 +4,6 @@ Paper finding: the classical contrastive (margin) loss is at or near the
 top despite being the simplest variant.
 """
 
-import numpy as np
 
 from repro.experiments import run_table4
 

@@ -26,6 +26,7 @@ from . import (
     losses,
     nn,
     runtime,
+    serving,
 )
 from .core import CoLES
 
@@ -43,4 +44,5 @@ __all__ = [
     "gbm",
     "eval",
     "runtime",
+    "serving",
 ]

@@ -2,7 +2,7 @@
 
 from .batching import augment_batch, coles_batches
 from .coles import CoLES
-from .inference import IncrementalEmbedder, embed_dataset
+from .inference import IncrementalEmbedder, embed_dataset, serve
 from .quantization import (
     QuantizedEmbeddings,
     pack_uint4,
@@ -19,6 +19,7 @@ __all__ = [
     "TrainConfig",
     "embed_dataset",
     "IncrementalEmbedder",
+    "serve",
     "quantize_embeddings",
     "QuantizedEmbeddings",
     "pack_uint4",

@@ -20,8 +20,9 @@ from ..data.batches import collate
 from ..encoders.seq_encoder import RnnSeqEncoder
 from ..nn import no_grad
 from ..runtime import EmbeddingStore, FusedEncoderRuntime
+from ..serving import EmbeddingService
 
-__all__ = ["embed_dataset", "IncrementalEmbedder"]
+__all__ = ["embed_dataset", "IncrementalEmbedder", "serve"]
 
 
 def _embed_dataset_tensor(encoder, dataset, batch_size):
@@ -63,6 +64,29 @@ def embed_dataset(encoder, dataset, batch_size=64, runtime="auto"):
     ):
         return _embed_dataset_fused(encoder, dataset, batch_size)
     return _embed_dataset_tensor(encoder, dataset, batch_size)
+
+
+def serve(encoder, dataset=None, schema=None, **service_kwargs):
+    """Stand up an online :class:`~repro.serving.EmbeddingService`.
+
+    The serving entry point of the deployment story: give it a trained
+    recurrent encoder and (optionally) the historical dataset to
+    bulk-load, and it returns a ready service — sharded state,
+    micro-batched ingestion, hot-embedding cache.
+
+    ``schema`` defaults to ``dataset.schema``; keyword arguments
+    (``num_shards``, ``cache_capacity``, ``flush_events``, ``batch_size``)
+    pass through to :class:`~repro.serving.EmbeddingService`.
+    """
+    if schema is None:
+        if dataset is None:
+            raise ValueError("serve() needs a schema (or a dataset to "
+                             "take it from)")
+        schema = dataset.schema
+    service = EmbeddingService(encoder, schema, **service_kwargs)
+    if dataset is not None:
+        service.bulk_load(dataset)
+    return service
 
 
 class IncrementalEmbedder:

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
-
 from ..baselines import handcrafted_features
 from ..data import subsample_labels, train_test_split
 from ..data.synthetic import make_texts_dataset

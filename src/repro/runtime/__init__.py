@@ -15,6 +15,7 @@ equivalent to < 1e-10, which the test-suite asserts property-style.
 
 from . import kernels
 from .engine import FusedEncoderRuntime
-from .store import EmbeddingStore
+from .store import EmbeddingStore, advance_entities, bulk_load_states
 
-__all__ = ["kernels", "FusedEncoderRuntime", "EmbeddingStore"]
+__all__ = ["kernels", "FusedEncoderRuntime", "EmbeddingStore",
+           "advance_entities", "bulk_load_states"]

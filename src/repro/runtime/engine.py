@@ -77,6 +77,20 @@ class FusedEncoderRuntime:
         """The ``(B, H)`` hidden buffer of a state (drops the LSTM cell)."""
         return state[0] if self.is_lstm else state
 
+    def default_state(self, batch_size):
+        """The learnt initial state broadcast to ``batch_size`` rows.
+
+        Returns the same structure :meth:`forward` accepts as ``initial``:
+        a ``(B, H)`` buffer, or an ``(h, c)`` pair for LSTM.  Used to seed
+        rows of entities the serving layer has never seen, so known and
+        unknown entities can share one batched :meth:`advance` call.
+        """
+        weights = self.weights()
+        hidden = kernels._initial(weights.init_state, batch_size)
+        if self.is_lstm:
+            return hidden, kernels._initial(weights.init_cell, batch_size)
+        return hidden
+
     def head(self, hidden):
         """Embedding head on ``(B, H)`` hidden states: l2 when configured."""
         if self.encoder.normalize:

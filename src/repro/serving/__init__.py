@@ -1,0 +1,37 @@
+"""Online embedding serving: shards, micro-batches, cache, service.
+
+PR 1's :mod:`repro.runtime` made single-process inference fast; this
+package turns it into a *service* shaped like the paper's production ETL
+(Section 4.3.1) at the ROADMAP's "millions of users" scale point:
+
+- :class:`ShardedEmbeddingStore` — per-entity state hash-partitioned over
+  independent :class:`~repro.runtime.EmbeddingStore` shards (per-shard
+  npz snapshots, deterministic routing), compute still globally batched;
+- :class:`MicroBatcher` — buffers per-entity event chunks and drains them
+  as length-bucketed fused batches via
+  :func:`repro.runtime.advance_entities` instead of one kernel call per
+  entity;
+- :class:`EmbeddingCache` — LRU hot-embedding cache, invalidated the
+  moment an entity's state advances;
+- :class:`EmbeddingService` — the facade (``ingest`` / ``flush`` /
+  ``query`` / ``snapshot`` / ``restore``) plus replayable event logs
+  (:func:`build_event_log`, :func:`replay_event_log`) used by the
+  deployment example and the equivalence tests.
+"""
+
+from .cache import EmbeddingCache
+from .microbatch import MicroBatcher, coalesce_chunks
+from .replay import build_event_log, replay_event_log
+from .service import EmbeddingService
+from .sharding import ShardedEmbeddingStore, route_entity
+
+__all__ = [
+    "EmbeddingCache",
+    "MicroBatcher",
+    "coalesce_chunks",
+    "build_event_log",
+    "replay_event_log",
+    "EmbeddingService",
+    "ShardedEmbeddingStore",
+    "route_entity",
+]

@@ -1,0 +1,89 @@
+"""LRU cache of hot embeddings with staleness invalidation.
+
+Production read traffic is heavily skewed: a small set of active entities
+absorbs most queries.  :class:`EmbeddingCache` keeps their *head* outputs
+(the post-normalisation embeddings) so repeat queries skip the store
+entirely; ingestion invalidates an entity's entry the moment its state
+advances, so a hit is always fresh.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+__all__ = ["EmbeddingCache"]
+
+
+class EmbeddingCache:
+    """Bounded LRU mapping entity id -> embedding vector.
+
+    ``capacity=0`` disables caching (every ``get`` misses, ``put`` is a
+    no-op) — the service keeps one code path either way.
+    """
+
+    def __init__(self, capacity=1024):
+        if capacity < 0:
+            raise ValueError("capacity must be >= 0")
+        self.capacity = int(capacity)
+        self._entries = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def __len__(self):
+        return len(self._entries)
+
+    def __contains__(self, entity_id):
+        return entity_id in self._entries
+
+    def get(self, entity_id):
+        """The cached embedding (treat as read-only), or None on a miss."""
+        entry = self._entries.get(entity_id)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(entity_id)
+        self.hits += 1
+        return entry
+
+    def put(self, entity_id, embedding):
+        """Insert/refresh an entry, evicting the least recently used."""
+        if self.capacity == 0:
+            return
+        if entity_id in self._entries:
+            self._entries.move_to_end(entity_id)
+        self._entries[entity_id] = np.array(embedding, copy=True)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def invalidate(self, entity_ids):
+        """Drop entries whose state advanced; returns how many were live."""
+        dropped = 0
+        for entity_id in entity_ids:
+            if self._entries.pop(entity_id, None) is not None:
+                dropped += 1
+        self.invalidations += dropped
+        return dropped
+
+    def clear(self):
+        self._entries.clear()
+
+    @property
+    def hit_rate(self):
+        lookups = self.hits + self.misses
+        return 0.0 if lookups == 0 else self.hits / lookups
+
+    def stats(self):
+        return {
+            "size": len(self._entries),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+        }

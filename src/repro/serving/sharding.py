@@ -1,0 +1,198 @@
+"""Hash-partitioned embedding state: many shards, one runtime.
+
+A single flat :class:`~repro.runtime.EmbeddingStore` dict stops scaling
+long before the paper's 90M-card population: snapshots become one giant
+file, and there is no unit of state that can be moved, restored, or owned
+independently.  :class:`ShardedEmbeddingStore` splits the per-entity state
+across ``num_shards`` stores by a stable hash of the entity id.  Every
+shard shares the same :class:`~repro.runtime.FusedEncoderRuntime` (weights
+are process-wide), so compute stays globally batched — only *state* is
+partitioned:
+
+- routing is deterministic across processes (CRC32 of the id's repr, not
+  Python's salted ``hash``), so a snapshot written by one worker restores
+  into any other;
+- snapshots are one ``.npz`` per shard plus a manifest, restored
+  shard-by-shard;
+- bulk loads and micro-batched updates batch *across* shards — the fused
+  kernels see the global length-bucketed plan, and final states scatter to
+  their owning shards.
+"""
+
+from __future__ import annotations
+
+import os
+import zlib
+
+import numpy as np
+
+from ..nn.serialization import load_arrays, save_arrays
+from ..runtime import EmbeddingStore, FusedEncoderRuntime
+from ..runtime.store import advance_entities, bulk_load_states
+
+__all__ = ["ShardedEmbeddingStore", "route_entity"]
+
+_MANIFEST = "manifest.npz"
+
+
+def route_entity(entity_id, num_shards):
+    """Deterministic shard index of an entity — stable across processes.
+
+    Ids that compare equal as dict keys must route identically, so
+    integer-like ids (``np.int64(5)``, ``5``) are canonicalised before
+    hashing — a snapshot bulk-loaded under numpy ids stays reachable to
+    plain-int queries.
+    """
+    if isinstance(entity_id, (bool, int, np.bool_, np.integer)):
+        key = str(int(entity_id))
+    elif isinstance(entity_id, (float, np.floating)):
+        value = float(entity_id)
+        key = str(int(value)) if value.is_integer() else repr(value)
+    elif isinstance(entity_id, str):
+        key = entity_id
+    else:
+        key = repr(entity_id)
+    return zlib.crc32(key.encode("utf-8")) % num_shards
+
+
+class ShardedEmbeddingStore:
+    """Entity states hash-partitioned over ``num_shards`` embedding stores.
+
+    Mirrors the :class:`~repro.runtime.EmbeddingStore` API (membership,
+    ``embedding``/``embeddings``, ``bulk_load``, ``update``,
+    ``update_many``, ``snapshot``/``restore``) so callers can swap a flat
+    store for a sharded one without code changes.
+    """
+
+    def __init__(self, encoder, num_shards=8):
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        if isinstance(encoder, FusedEncoderRuntime):
+            self.runtime = encoder
+        else:
+            self.runtime = FusedEncoderRuntime(encoder)
+        self.num_shards = int(num_shards)
+        self.shards = [EmbeddingStore(self.runtime)
+                       for _ in range(self.num_shards)]
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def shard_of(self, entity_id):
+        """Index of the shard owning ``entity_id``."""
+        return route_entity(entity_id, self.num_shards)
+
+    def shard_for(self, entity_id):
+        """The :class:`EmbeddingStore` owning ``entity_id``."""
+        return self.shards[self.shard_of(entity_id)]
+
+    def shard_sizes(self):
+        """Entities per shard — balance telemetry."""
+        return [len(shard) for shard in self.shards]
+
+    # ------------------------------------------------------------------
+    # introspection (the flat-store API, routed)
+    # ------------------------------------------------------------------
+    def __len__(self):
+        return sum(len(shard) for shard in self.shards)
+
+    def __contains__(self, entity_id):
+        return entity_id in self.shard_for(entity_id)
+
+    def known_entities(self):
+        merged = []
+        for shard in self.shards:
+            merged.extend(shard.known_entities())
+        return sorted(merged)
+
+    def last_time(self, entity_id):
+        return self.shard_for(entity_id).last_time(entity_id)
+
+    def state_of(self, entity_id):
+        return self.shard_for(entity_id).state_of(entity_id)
+
+    def put_state(self, entity_id, hidden, cell=None, last_time=None):
+        self.shard_for(entity_id).put_state(entity_id, hidden, cell=cell,
+                                            last_time=last_time)
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def embedding(self, entity_id):
+        return self.shard_for(entity_id).embedding(entity_id)
+
+    def embeddings(self, entity_ids=None):
+        """Embedding matrix for ``entity_ids`` (default: all, sorted)."""
+        if entity_ids is None:
+            entity_ids = self.known_entities()
+        if not len(entity_ids):
+            return np.zeros((0, self.runtime.output_dim))
+        rows = []
+        for entity_id in entity_ids:
+            state = self.state_of(entity_id)
+            if state is None:
+                raise KeyError("unknown entity %r" % entity_id)
+            rows.append(state[0])
+        return self.runtime.head(np.stack(rows))
+
+    # ------------------------------------------------------------------
+    # writes: globally batched compute, shard-scattered state
+    # ------------------------------------------------------------------
+    def bulk_load(self, dataset, batch_size=64):
+        """Embed a whole dataset; states scatter to their owning shards."""
+        return bulk_load_states(self.runtime, dataset, self.put_state,
+                                batch_size=batch_size)
+
+    def update(self, entity_id, events, schema):
+        """Per-entity incremental refresh, routed to the owning shard."""
+        return self.shard_for(entity_id).update(entity_id, events, schema)
+
+    def update_many(self, sequences, schema, batch_size=64):
+        """Micro-batched advance across shards.
+
+        Entities from different shards share fused batches (the plan is
+        global); only the state reads/writes route per shard.
+        """
+        return advance_entities(self.runtime, sequences, schema,
+                                self.state_of, self.put_state,
+                                batch_size=batch_size)
+
+    # ------------------------------------------------------------------
+    # persistence: one npz per shard + a manifest
+    # ------------------------------------------------------------------
+    def _shard_path(self, directory, index):
+        return os.path.join(directory, "shard_%04d.npz" % index)
+
+    def snapshot(self, directory):
+        """Write every shard to ``directory`` (created if needed)."""
+        os.makedirs(directory, exist_ok=True)
+        save_arrays(os.path.join(directory, _MANIFEST), {
+            "num_shards": np.asarray(self.num_shards),
+            "kind": np.asarray("lstm" if self.runtime.is_lstm else "gru"),
+        })
+        for index, shard in enumerate(self.shards):
+            shard.snapshot(self._shard_path(directory, index))
+
+    def restore(self, directory):
+        """Load a snapshot written by :meth:`snapshot`; returns self.
+
+        The snapshot's shard count must match this store's — routing is a
+        function of ``num_shards``, so restoring across a reshard would
+        silently misroute every lookup.
+        """
+        manifest_path = os.path.join(directory, _MANIFEST)
+        if not os.path.exists(manifest_path):
+            raise FileNotFoundError(
+                "no sharded snapshot manifest at %r" % manifest_path
+            )
+        manifest = load_arrays(manifest_path)
+        snapshot_shards = int(manifest["num_shards"])
+        if snapshot_shards != self.num_shards:
+            raise ValueError(
+                "snapshot holds %d shards but this store routes over %d; "
+                "construct the store with num_shards=%d to restore it"
+                % (snapshot_shards, self.num_shards, snapshot_shards)
+            )
+        for index, shard in enumerate(self.shards):
+            shard.restore(self._shard_path(directory, index))
+        return self

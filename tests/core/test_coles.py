@@ -5,7 +5,7 @@ import numpy as np
 import pytest
 
 from repro.core import CoLES
-from repro.data.synthetic import make_age_dataset, make_churn_dataset
+from repro.data.synthetic import make_age_dataset
 
 
 @pytest.fixture(scope="module")

@@ -11,7 +11,6 @@ from repro.core import (
     quantize_embeddings,
     unpack_uint4,
 )
-from repro.data import collate
 from repro.data.synthetic import make_churn_dataset
 from repro.encoders import build_encoder
 

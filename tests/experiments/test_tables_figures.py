@@ -6,7 +6,6 @@ and renders a printable table.  PROFILES is monkeypatched to miniature
 settings so the whole module runs in seconds.
 """
 
-import numpy as np
 import pytest
 
 from repro.experiments import configs

@@ -1,7 +1,6 @@
 """Tests for functional ops: softmax, losses, normalisation, distances."""
 
 import numpy as np
-import pytest
 from scipy.special import log_softmax as scipy_log_softmax
 from scipy.special import softmax as scipy_softmax
 

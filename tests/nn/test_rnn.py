@@ -1,7 +1,6 @@
 """Tests for GRU/LSTM recurrences, masking and incremental stepping."""
 
 import numpy as np
-import pytest
 
 from repro.nn import GRU, LSTM, Adam, Tensor
 from tests.helpers import check_gradients

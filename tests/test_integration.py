@@ -8,7 +8,7 @@ from repro.baselines import FineTuneConfig, SequenceClassifier, handcrafted_feat
 from repro.core import IncrementalEmbedder, embed_dataset, quantize_embeddings
 from repro.data import train_test_split
 from repro.data.synthetic import make_age_dataset, make_churn_dataset
-from repro.eval import auroc, cross_val_features, evaluate_predictions
+from repro.eval import cross_val_features, evaluate_predictions
 from repro.gbm import GBMConfig, GradientBoostingClassifier
 
 
