@@ -1,7 +1,10 @@
 """CI gate: fail when a recorded throughput regresses vs the baseline.
 
-Compares one dotted key (events/sec) between the committed baseline
-``BENCH_*.json`` and a freshly regenerated one::
+Compares a freshly regenerated ``BENCH_*.json`` against the committed
+baseline.  Gated keys (``--key``, repeatable) fail the build when
+``current < baseline * (1 - tolerance)``; every *other* numeric metric
+shared by the two files is printed as a ``trend`` line — on success too —
+so CI logs double as a perf trajectory::
 
     python benchmarks/check_bench_regression.py \
         --baseline /tmp/bench_baseline.json \
@@ -9,10 +12,11 @@ Compares one dotted key (events/sec) between the committed baseline
         --key events_per_sec.fused_bucketed \
         --tolerance 0.30
 
-Exits non-zero when ``current < baseline * (1 - tolerance)``.  The
-tolerance absorbs shared-runner noise; a real hot-path regression (losing
-the packed-kernel fast path, the bucketed plan, or micro-batched ingest)
-overshoots 30% by a wide margin.
+With no ``--key`` the script prints the trajectory only and exits 0
+(useful for files tracked but not yet gated).  The tolerance absorbs
+shared-runner noise; a real hot-path regression (losing the packed-kernel
+fast path, the bucketed plan, micro-batched ingest, or the fused
+backward) overshoots 30% by a wide margin.
 """
 
 import argparse
@@ -21,6 +25,7 @@ import sys
 
 
 def lookup(results, dotted_key):
+    """Resolve ``a.b.c`` in nested dicts; raises KeyError with the miss."""
     value = results
     for part in dotted_key.split("."):
         if not isinstance(value, dict) or part not in value:
@@ -30,33 +35,62 @@ def lookup(results, dotted_key):
     return float(value)
 
 
+def numeric_leaves(results, prefix=""):
+    """Yield ``(dotted_key, value)`` for every numeric leaf, sorted."""
+    for key in sorted(results):
+        value = results[key]
+        dotted = prefix + key if not prefix else "%s.%s" % (prefix, key)
+        if isinstance(value, dict):
+            yield from numeric_leaves(value, dotted)
+        elif isinstance(value, (int, float)) and not isinstance(value, bool):
+            yield dotted, float(value)
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", required=True,
                         help="committed BENCH_*.json to gate against")
     parser.add_argument("--current", required=True,
                         help="freshly regenerated BENCH_*.json")
-    parser.add_argument("--key", default="events_per_sec.fused_bucketed",
-                        help="dotted path of the throughput to compare")
+    parser.add_argument("--key", action="append", default=None,
+                        help="dotted path of a throughput to gate; repeat "
+                             "for several keys, omit for trajectory-only")
     parser.add_argument("--tolerance", type=float, default=0.30,
                         help="allowed fractional regression (default 0.30)")
     args = parser.parse_args(argv)
 
     with open(args.baseline) as handle:
-        baseline = lookup(json.load(handle), args.key)
+        baseline = json.load(handle)
     with open(args.current) as handle:
-        current = lookup(json.load(handle), args.key)
+        current = json.load(handle)
 
-    floor = baseline * (1.0 - args.tolerance)
-    ratio = current / baseline if baseline else float("inf")
-    print("%s: baseline %.0f ev/s, current %.0f ev/s (%.2fx), floor %.0f"
-          % (args.key, baseline, current, ratio, floor))
-    if current < floor:
-        print("FAIL: regressed more than %.0f%% vs the committed baseline"
-              % (100 * args.tolerance))
-        return 1
-    print("OK: within the regression budget")
-    return 0
+    # The trajectory: measured-vs-baseline ratio for every tracked metric,
+    # printed on success as well as failure.
+    current_values = dict(numeric_leaves(current))
+    gated = set(args.key or ())
+    for dotted, base_value in numeric_leaves(baseline):
+        if dotted in gated or dotted not in current_values:
+            continue
+        now = current_values[dotted]
+        ratio = now / base_value if base_value else float("inf")
+        print("trend  %-45s baseline %12.2f  current %12.2f  (%.2fx)"
+              % (dotted, base_value, now, ratio))
+
+    failures = 0
+    for dotted_key in args.key or ():
+        base_value = lookup(baseline, dotted_key)
+        now = lookup(current, dotted_key)
+        floor = base_value * (1.0 - args.tolerance)
+        ratio = now / base_value if base_value else float("inf")
+        print("gate   %-45s baseline %12.0f  current %12.0f  (%.2fx), "
+              "floor %.0f" % (dotted_key, base_value, now, ratio, floor))
+        if now < floor:
+            print("FAIL: %s regressed more than %.0f%% vs the committed "
+                  "baseline" % (dotted_key, 100 * args.tolerance))
+            failures += 1
+        else:
+            print("OK: %s within the regression budget" % dotted_key)
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":

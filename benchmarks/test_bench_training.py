@@ -1,0 +1,151 @@
+"""Training-path throughput: fused BPTT engine vs the autograd graph.
+
+``BENCH_inference.json`` and ``BENCH_serving.json`` track the serving
+side; this bench tracks the *training* hot path that PR 3 moved onto the
+fused kernels.  Two engines run the identical contrastive optimisation
+step (same batches, same initial weights, same loss/rng):
+
+- **tensor** — the seed implementation: the autograd ``Tensor`` graph,
+  one Python node per op per timestep, for forward and backward;
+- **fused** — ``TrainConfig(engine="fused")``: graph-free forward +
+  hand-derived BPTT (:mod:`repro.runtime.training`); only the loss runs
+  through autograd, on the ``(B, H)`` embedding matrix.
+
+Gradient equivalence (< 1e-8) is property-tested in
+``tests/runtime/test_fused_training.py``; here the two engines' losses
+are additionally cross-checked per step while measuring steps/sec.
+Results are recorded through ``bench_record`` to ``BENCH_training.json``
+at the repo root (uploaded by CI's bench job; the target trajectory is
+>= 3x steps/sec, the asserted floor 2x to absorb shared-runner noise).
+"""
+
+import time
+
+import numpy as np
+
+from repro.augmentations import RandomSlices
+from repro.core import ContrastiveTrainer, TrainConfig, augment_batch
+from repro.data.sequences import EventSequence, SequenceDataset
+from repro.data.synthetic import make_churn_dataset
+from repro.encoders import build_encoder
+from repro.eval import ComparisonTable
+from repro.losses import ContrastiveLoss
+from repro.nn import Adam
+
+# (clients, mean events) cohorts: the length-skewed population the
+# inference/serving benches use, scaled to a training-step workload.
+COHORTS = [(36, 30), (24, 90), (12, 220)]
+NUM_BATCHES = 6
+BATCH_ENTITIES = 12
+HIDDEN = 48
+
+
+def _longtail_dataset(seed=0):
+    sequences, offset, schema = [], 0, None
+    for num_clients, mean_length in COHORTS:
+        cohort = make_churn_dataset(num_clients=num_clients,
+                                    mean_length=mean_length, min_length=10,
+                                    max_length=300, seed=seed + mean_length)
+        schema = cohort.schema
+        for seq in cohort:
+            sequences.append(EventSequence(seq_id=offset + seq.seq_id,
+                                           fields=seq.fields, label=seq.label))
+        offset += 10_000
+    rng = np.random.default_rng(seed)
+    rng.shuffle(sequences)
+    return SequenceDataset(sequences, schema, name="longtail-train")
+
+
+def _training_batches(dataset, strategy, rng):
+    """A fixed epoch of CoLES batches, pre-built so both engines time the
+    optimisation step only (augmentation/collation is engine-independent)."""
+    order = rng.permutation(len(dataset))
+    batches = []
+    for start in range(0, len(order), BATCH_ENTITIES):
+        chunk = [dataset[i] for i in order[start:start + BATCH_ENTITIES]]
+        if len(chunk) < 2:
+            continue
+        batch = augment_batch(chunk, dataset.schema, strategy, rng)
+        if batch is not None:
+            batches.append(batch)
+        if len(batches) == NUM_BATCHES:
+            break
+    assert len(batches) == NUM_BATCHES
+    return batches
+
+
+def _run_engine(engine, dataset, batches, strategy, repeats=3):
+    """Best steps/sec of ``repeats`` epochs over the fixed batch list."""
+    best, losses = float("inf"), None
+    for _ in range(repeats):
+        encoder = build_encoder(dataset.schema, HIDDEN, "gru",
+                                rng=np.random.default_rng(1))
+        trainer = ContrastiveTrainer(
+            encoder, ContrastiveLoss(), strategy,
+            TrainConfig(num_epochs=1, batch_size=BATCH_ENTITIES,
+                        engine=engine))
+        optimizer = Adam(encoder.parameters(), lr=0.002)
+        rng = np.random.default_rng(9)
+        encoder.train()
+        started = time.perf_counter()
+        run_losses = [trainer.train_step(batch, optimizer, rng)
+                      for batch in batches]
+        elapsed = time.perf_counter() - started
+        if elapsed < best:
+            best, losses = elapsed, run_losses
+    return losses, best
+
+
+def test_training_step_throughput_fused_vs_tensor(run_once, bench_record):
+    def experiment():
+        dataset = _longtail_dataset()
+        strategy = RandomSlices(10, 80, 5)
+        batches = _training_batches(dataset, strategy,
+                                    np.random.default_rng(0))
+        events = int(sum(batch.lengths.sum() for batch in batches))
+        views = int(sum(batch.batch_size for batch in batches))
+
+        tensor_losses, tensor_s = _run_engine("tensor", dataset, batches,
+                                              strategy)
+        fused_losses, fused_s = _run_engine("fused", dataset, batches,
+                                            strategy)
+
+        # Same optimisation: identical per-step losses to rounding.
+        np.testing.assert_allclose(fused_losses, tensor_losses, atol=1e-8)
+
+        results = {
+            "workload": {
+                "batches": len(batches),
+                "entities_per_batch": BATCH_ENTITIES,
+                "views": views,
+                "events": events,
+                "hidden_size": HIDDEN,
+            },
+            "steps_per_sec": {
+                "tensor": len(batches) / tensor_s,
+                "fused": len(batches) / fused_s,
+            },
+            "events_per_sec": {
+                "tensor": events / tensor_s,
+                "fused": events / fused_s,
+            },
+            "speedup": {"fused_engine": tensor_s / fused_s},
+        }
+        bench_record("training", results)
+
+        table = ComparisonTable(
+            "Training throughput: fused BPTT engine vs autograd",
+            ["engine", "steps/s", "events/s", "speedup"],
+        )
+        for engine, seconds in (("tensor", tensor_s), ("fused", fused_s)):
+            table.add_row(engine, "%.2f" % (len(batches) / seconds),
+                          "%.0f" % (events / seconds),
+                          "%.1fx" % (tensor_s / seconds))
+        table.print()
+        return results
+
+    results = run_once(experiment)
+    # Target trajectory is >= 3x (recorded in BENCH_training.json); the
+    # asserted floor is 2x so shared-runner noise cannot flake the suite
+    # while losing the fused backward (~1x) still fails loudly.
+    assert results["speedup"]["fused_engine"] >= 2.0

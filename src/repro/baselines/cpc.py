@@ -17,7 +17,8 @@ from ..data.sequences import SequenceDataset
 from ..encoders import RnnSeqEncoder, TrxEncoder
 from ..nn import Adam, Linear, clip_grad_norm
 from ..nn import functional as F
-from .pretrain_common import PretrainConfig, pretrain_batches, truncate_tail
+from .pretrain_common import (PretrainConfig, pretrain_batches,
+                              require_tensor_engine, truncate_tail)
 
 __all__ = ["CPC"]
 
@@ -94,6 +95,7 @@ class CPC:
     def fit(self, dataset, config=None):
         """Pre-train on all sequences (labels unused)."""
         config = config or PretrainConfig()
+        require_tensor_engine(config, "CPC")
         rng = np.random.default_rng(config.seed)
         truncated = SequenceDataset(
             [truncate_tail(seq, config.max_seq_length) for seq in dataset],

@@ -20,11 +20,16 @@ from __future__ import annotations
 import numpy as np
 
 from ..data.batches import collate
-from ..nn import Adam, Linear, clip_grad_norm, concat
+from ..nn import Adam, Linear, Tensor, clip_grad_norm, concat
 from ..nn import functional as F
 from .pretrain_common import PretrainConfig, random_slice_pair, truncate_tail
 
 __all__ = ["NSP", "SOP"]
+
+
+def _leaf_grad(leaf):
+    """A leaf tensor's accumulated gradient (zeros if it never got one)."""
+    return leaf.grad if leaf.grad is not None else np.zeros_like(leaf.data)
 
 
 class _PairPretrainer:
@@ -48,10 +53,17 @@ class _PairPretrainer:
         return list(self.encoder.parameters()) + list(self.head.parameters())
 
     def fit(self, dataset, config=None):
+        """Pre-train the encoder through the pair objective."""
         config = config or PretrainConfig()
         rng = np.random.default_rng(config.seed)
         sequences = [truncate_tail(seq, config.max_seq_length) for seq in dataset]
         optimizer = Adam(self._parameters(), lr=config.learning_rate)
+        if config.engine == "fused":
+            from ..runtime.training import FusedTrainStep
+
+            fused_step = FusedTrainStep(self.encoder)
+        else:
+            fused_step = None
         self.encoder.train()
         for epoch in range(config.num_epochs):
             losses = []
@@ -63,12 +75,27 @@ class _PairPretrainer:
                 if made is None:
                     continue
                 first, second, labels = made
-                emb_a = self.encoder.embed(collate(first, self.schema))
-                emb_b = self.encoder.embed(collate(second, self.schema))
+                batch_a = collate(first, self.schema)
+                batch_b = collate(second, self.schema)
+                if fused_step is not None:
+                    cache_a = fused_step.forward(batch_a)
+                    cache_b = fused_step.forward(batch_b)
+                    emb_a = Tensor(cache_a.embeddings, requires_grad=True)
+                    emb_b = Tensor(cache_b.embeddings, requires_grad=True)
+                else:
+                    cache_a = cache_b = None
+                    emb_a = self.encoder.embed(batch_a)
+                    emb_b = self.encoder.embed(batch_b)
                 logits = self.head(self._pair_features(emb_a, emb_b)).reshape(-1)
                 loss = F.binary_cross_entropy_with_logits(logits, labels)
                 optimizer.zero_grad()
+                # On the fused engine this graph stops at the two
+                # embedding leaves: the head gets its gradients here and
+                # the encoder gets them from the fused BPTT below.
                 loss.backward()
+                if fused_step is not None:
+                    fused_step.backward(cache_a, _leaf_grad(emb_a))
+                    fused_step.backward(cache_b, _leaf_grad(emb_b))
                 if config.clip_norm:
                     clip_grad_norm(self._parameters(), config.clip_norm)
                 optimizer.step()

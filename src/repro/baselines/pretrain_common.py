@@ -6,8 +6,8 @@ from dataclasses import dataclass
 
 from ..data.batches import iterate_batches
 
-__all__ = ["PretrainConfig", "pretrain_batches", "truncate_tail",
-           "random_slice_pair"]
+__all__ = ["PretrainConfig", "pretrain_batches", "require_tensor_engine",
+           "truncate_tail", "random_slice_pair"]
 
 
 @dataclass
@@ -24,6 +24,33 @@ class PretrainConfig:
     # Shuffle window (in batches) for the length-bucketed batch planner;
     # None disables bucketing.
     bucket_window: int = None
+    # Encoder execution engine: "tensor" (autograd, works everywhere) or
+    # "fused" (graph-free BPTT via repro.runtime.training).  The fused
+    # engine covers objectives expressed on the final embeddings (NSP and
+    # SOP); CPC and RTD consume per-step states and reject
+    # engine="fused" via require_tensor_engine.
+    engine: str = "tensor"
+
+    def __post_init__(self):
+        if self.engine not in ("tensor", "fused"):
+            raise ValueError(
+                "unknown engine %r (use 'tensor' or 'fused')" % self.engine
+            )
+
+
+def require_tensor_engine(config, method):
+    """Fail loudly when a method cannot honour ``engine="fused"``.
+
+    The fused engine covers objectives expressed on the *final*
+    embeddings; methods whose loss consumes per-step states and event
+    representations (CPC, RTD) must reject the request instead of
+    silently training on the tensor engine.
+    """
+    if config.engine == "fused":
+        raise ValueError(
+            "%s consumes per-step states, which the fused engine does not "
+            "cover — use PretrainConfig(engine=\"tensor\")" % method
+        )
 
 
 def pretrain_batches(dataset, config, rng, drop_last=False):

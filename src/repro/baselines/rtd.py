@@ -15,7 +15,8 @@ from ..data.sequences import SequenceDataset
 from ..encoders import RnnSeqEncoder, TrxEncoder
 from ..nn import Adam, Linear, clip_grad_norm
 from ..nn import functional as F
-from .pretrain_common import PretrainConfig, pretrain_batches, truncate_tail
+from .pretrain_common import (PretrainConfig, pretrain_batches,
+                              require_tensor_engine, truncate_tail)
 
 __all__ = ["RTD", "corrupt_batch"]
 
@@ -89,7 +90,9 @@ class RTD:
         return F.binary_cross_entropy_with_logits(picked_logits, targets)
 
     def fit(self, dataset, config=None):
+        """Pre-train on all sequences; requires the tensor engine."""
         config = config or PretrainConfig()
+        require_tensor_engine(config, "RTD")
         rng = np.random.default_rng(config.seed)
         truncated = SequenceDataset(
             [truncate_tail(seq, config.max_seq_length) for seq in dataset],

@@ -105,6 +105,30 @@ class _RecurrentBase(Module):
         h_parts = [hi[:, i * size:(i + 1) * size] for i in range(self.num_gates)]
         return x_parts, h_parts
 
+    def cell_parameters(self):
+        """Live :class:`~repro.nn.Parameter` objects keyed by their
+        :class:`CellWeights` field name.
+
+        This is the gradient-side counterpart of :meth:`export_weights`:
+        the fused training engine (:mod:`repro.runtime.training`) computes
+        raw-numpy gradients under the CellWeights field names and uses
+        this mapping to accumulate them into the very Parameters the
+        optimisers update.  Fields whose parameter is not learnt
+        (``init_state``/``init_cell`` with ``learn_init_state=False``) map
+        to None — their gradients are discarded, exactly as the autograd
+        path never produces them.
+        """
+        params = {
+            "weight_ih": self.weight_ih,
+            "weight_hh": self.weight_hh,
+            "bias_ih": self.bias_ih,
+            "bias_hh": self.bias_hh,
+            "init_state": self.init_state,
+        }
+        if self.num_gates == 4:
+            params["init_cell"] = self.init_cell
+        return params
+
     def export_weights(self):
         """Export the cell parameters as a :class:`CellWeights` view.
 

@@ -1,21 +1,30 @@
-"""Serving runtime: fused inference kernels + per-entity embedding store.
+"""Fused runtime: graph-free kernels for training *and* serving hot paths.
 
-The train/serve split of the codebase:
+The execution-path split of the codebase:
 
-- **training** runs through the autograd :mod:`repro.nn` substrate
-  (differentiable, one graph node per op);
-- **serving** runs through this package — graph-free fused numpy kernels
-  (:mod:`~repro.runtime.kernels`) driven by a
-  :class:`~repro.runtime.FusedEncoderRuntime`, with per-entity state owned
-  by an :class:`~repro.runtime.EmbeddingStore`.
+- **autograd** (:mod:`repro.nn`) — the differentiable Tensor substrate,
+  one graph node per op; still used by the losses (small graphs over
+  ``(B, H)`` embeddings) and by objectives the fused engine does not
+  cover (transformers, CPC/RTD);
+- **fused training** (:mod:`~repro.runtime.training`) — a
+  :class:`FusedTrainStep` runs the encoder forward and hand-derived BPTT
+  (:func:`~repro.runtime.kernels.rnn_backward`) as raw numpy, selected
+  via ``TrainConfig(engine="fused")``;
+- **serving** — the same forward kernels driven by a
+  :class:`FusedEncoderRuntime`, with per-entity state owned by an
+  :class:`EmbeddingStore`.
 
-Both paths share one weight layout (:class:`repro.nn.CellWeights`) and are
-equivalent to < 1e-10, which the test-suite asserts property-style.
+All paths share one weight layout (:class:`repro.nn.CellWeights`):
+fused-trained weights drop directly into the serving stack.  Forward
+equivalence to the Tensor path is < 1e-10 and gradient equivalence
+< 1e-8, asserted property-style by ``tests/runtime/``.
 """
 
 from . import kernels
 from .engine import FusedEncoderRuntime
 from .store import EmbeddingStore, advance_entities, bulk_load_states
+from .training import FusedForwardCache, FusedTrainStep, loss_gradient
 
 __all__ = ["kernels", "FusedEncoderRuntime", "EmbeddingStore",
-           "advance_entities", "bulk_load_states"]
+           "advance_entities", "bulk_load_states", "FusedTrainStep",
+           "FusedForwardCache", "loss_gradient"]

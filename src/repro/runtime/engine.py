@@ -44,10 +44,12 @@ class FusedEncoderRuntime:
     # ------------------------------------------------------------------
     @property
     def is_lstm(self):
+        """Whether states are ``(h, c)`` pairs (LSTM) or plain ``(B, H)``."""
         return self.encoder.cell == "lstm"
 
     @property
     def output_dim(self):
+        """Embedding dimensionality ``d`` of the wrapped encoder."""
         return self.encoder.output_dim
 
     def weights(self):

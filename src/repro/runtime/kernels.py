@@ -1,8 +1,7 @@
-"""Fused, graph-free numpy kernels for the inference hot path.
+"""Fused, graph-free numpy kernels for the training and inference hot paths.
 
-Training runs through the autograd :class:`~repro.nn.Tensor`, which builds
-one Python graph node per op and per timestep.  Serving does not need
-gradients, so these kernels drop to raw float64 numpy:
+The autograd :class:`~repro.nn.Tensor` builds one Python graph node per op
+and per timestep.  These kernels drop to raw float64 numpy instead:
 
 - the input projection of *all* timesteps is computed as one matmul
   (``(B*T, D) @ (D, G*H)``) instead of T small ones;
@@ -13,9 +12,24 @@ gradients, so these kernels drop to raw float64 numpy:
   the numpy analogue of cuDNN's packed sequences.  Unsorted batches fall
   back to mask-freezing, exactly like the Tensor path.
 
+Two kernel families share those tricks:
+
+- **inference**: :func:`gru_forward` / :func:`lstm_forward` /
+  :func:`rnn_forward` and :func:`encode_events` — forward only, nothing
+  retained;
+- **training**: :func:`gru_forward_train` / :func:`lstm_forward_train`
+  stash the per-step activations a backward pass needs, and
+  :func:`gru_backward` / :func:`lstm_backward` run hand-derived BPTT over
+  that cache — loss gradient in, weight gradients out, no graph ever
+  built.  Per-gate input gradients accumulate into one ``(B*T, G*H)``
+  buffer so the weight_ih/bias_ih/input gradients are three fused matmuls
+  at the end, mirroring the fused input projection of the forward.
+
 Every kernel follows the same op order and formulas as the differentiable
 modules, so outputs agree with the Tensor path to float64 rounding
-(< 1e-10 — asserted by ``tests/runtime/test_fused_equivalence.py``).
+(< 1e-10) and gradients to < 1e-8 — asserted by
+``tests/runtime/test_fused_equivalence.py`` and
+``tests/runtime/test_fused_training.py``.
 
 Weight layout is *not* re-declared here: kernels consume the
 :class:`~repro.nn.CellWeights` view exported by the ``nn.rnn`` modules.
@@ -23,15 +37,26 @@ Weight layout is *not* re-declared here: kernels consume the
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 __all__ = [
     "sigmoid",
     "l2_normalize_rows",
+    "l2_normalize_rows_backward",
     "rnn_forward",
     "gru_forward",
     "lstm_forward",
     "encode_events",
+    "encode_events_train",
+    "RnnTrainCache",
+    "rnn_forward_train",
+    "gru_forward_train",
+    "lstm_forward_train",
+    "rnn_backward",
+    "gru_backward",
+    "lstm_backward",
 ]
 
 
@@ -44,6 +69,20 @@ def l2_normalize_rows(x, eps=1e-12):
     """Unit-normalise rows; mirrors ``nn.functional.l2_normalize``."""
     norm = np.sqrt(np.maximum((x * x).sum(axis=-1, keepdims=True), eps))
     return x / norm
+
+
+def l2_normalize_rows_backward(x, grad, eps=1e-12):
+    """Gradient of :func:`l2_normalize_rows` wrt ``x``.
+
+    For ``y = x / ||x||``: ``dx = g/||x|| - x (g·x)/||x||^3``, with the
+    norm term dropped where the squared norm hit the ``eps`` clip —
+    exactly the gradient the autograd ``nn.functional.l2_normalize``
+    produces (its clipped sqrt passes no gradient when clipping).
+    """
+    sq = (x * x).sum(axis=-1, keepdims=True)
+    norm = np.sqrt(np.maximum(sq, eps))
+    dot = (grad * x).sum(axis=-1, keepdims=True)
+    return grad / norm - x * (dot * (sq > eps) / norm**3)
 
 
 def _input_gates(weights, x):
@@ -208,6 +247,399 @@ def rnn_forward(weights, x, lengths=None, mask=None, initial=None,
     raise ValueError("unknown cell kind %r" % weights.kind)
 
 
+# ----------------------------------------------------------------------
+# training kernels: forward with an activation cache + hand-derived BPTT
+# ----------------------------------------------------------------------
+
+@dataclass
+class RnnTrainCache:
+    """Per-step activations stashed by a training forward pass.
+
+    Produced by :func:`gru_forward_train` / :func:`lstm_forward_train` and
+    consumed exactly once by the matching backward kernel.  Rows beyond a
+    step's active count hold stale values in ``gates``/``gate_hidden`` —
+    the backward kernels never read them.
+    """
+
+    kind: str                # "gru" | "lstm"
+    x: np.ndarray            # (B, T, D) event representations
+    gates: np.ndarray        # (B, T, G*H): r,z,n (GRU) or i,f,g,o (LSTM)
+    hidden_seq: np.ndarray   # (B, T, H) post-step hidden states
+    hidden_0: np.ndarray     # (B, H) initial hidden state
+    counts: np.ndarray       # (T,) active rows per step, or None
+    mask: np.ndarray         # (B, T) boolean, or None (full batch)
+    last: object             # (B, H) or (h, c) — the forward result
+    gate_hidden: np.ndarray = None  # (B, T, H) GRU only: gh_n (for dr)
+    cell_seq: np.ndarray = None     # (B, T, H) LSTM only: post-step cells
+    cell_0: np.ndarray = None       # (B, H) LSTM only: initial cell
+    tanh_cell: np.ndarray = None    # (B, T, H) LSTM only: tanh(c_t)
+
+
+def _train_setup(weights, x, lengths, mask, initial):
+    """Shared preamble of the training forwards: buffers + step schedule."""
+    batch, steps, _ = x.shape
+    gates_x = _input_gates(weights, x)
+    counts = _active_counts(lengths, steps)
+    if counts is None and lengths is not None and mask is None:
+        mask = _mask_from_lengths(lengths, steps)
+    return batch, steps, gates_x, counts, mask
+
+
+def gru_forward_train(weights, x, lengths=None, mask=None, initial=None):
+    """GRU forward stashing what :func:`gru_backward` needs.
+
+    Same contract as :func:`gru_forward` (active-prefix execution when
+    ``lengths`` is sorted longest-first, mask-freezing otherwise), but
+    returns an :class:`RnnTrainCache` whose ``last`` field carries the
+    final ``(B, H)`` state.
+    """
+    batch, steps, gates_x, counts, mask = _train_setup(
+        weights, x, lengths, mask, initial)
+    size = weights.hidden_size
+    hidden = (np.array(initial, dtype=np.float64, copy=True)
+              if initial is not None else _initial(weights.init_state, batch))
+    hidden_0 = hidden.copy()
+    gates = np.empty((batch, steps, 3 * size))
+    gate_hidden = np.empty((batch, steps, size))
+    hidden_seq = np.empty((batch, steps, size))
+    w_hh_t = weights.weight_hh.T
+    bias_hh = weights.bias_hh
+    for t in range(steps):
+        active = batch if counts is None else int(counts[t])
+        if active == 0:
+            hidden_seq[:, t:] = hidden[:, None, :]
+            break
+        h_act = hidden[:active]
+        gx = gates_x[:active, t]
+        gh = h_act @ w_hh_t + bias_hh
+        gate_block = sigmoid(gx[:, :2 * size] + gh[:, :2 * size])
+        reset = gate_block[:, :size]
+        update = gate_block[:, size:]
+        gh_n = gh[:, 2 * size:]
+        candidate = np.tanh(gx[:, 2 * size:] + reset * gh_n)
+        gates[:active, t, :2 * size] = gate_block
+        gates[:active, t, 2 * size:] = candidate
+        gate_hidden[:active, t] = gh_n
+        new_hidden = (1.0 - update) * candidate + update * h_act
+        if counts is None and mask is not None:
+            hidden = np.where(mask[:, t:t + 1], new_hidden, hidden)
+        elif active == batch:
+            hidden = new_hidden
+        else:
+            hidden[:active] = new_hidden
+        hidden_seq[:, t] = hidden
+    return RnnTrainCache(kind="gru", x=x, gates=gates, hidden_seq=hidden_seq,
+                         hidden_0=hidden_0, counts=counts, mask=mask,
+                         last=hidden, gate_hidden=gate_hidden)
+
+
+def lstm_forward_train(weights, x, lengths=None, mask=None, initial=None):
+    """LSTM forward stashing what :func:`lstm_backward` needs.
+
+    ``initial`` and ``cache.last`` are ``(h, c)`` pairs; otherwise the
+    contract of :func:`gru_forward_train`.
+    """
+    batch, steps, gates_x, counts, mask = _train_setup(
+        weights, x, lengths, mask, initial)
+    size = weights.hidden_size
+    if initial is not None:
+        hidden = np.array(initial[0], dtype=np.float64, copy=True)
+        cell = np.array(initial[1], dtype=np.float64, copy=True)
+    else:
+        hidden = _initial(weights.init_state, batch)
+        cell = _initial(weights.init_cell, batch)
+    hidden_0 = hidden.copy()
+    cell_0 = cell.copy()
+    gates = np.empty((batch, steps, 4 * size))
+    hidden_seq = np.empty((batch, steps, size))
+    cell_seq = np.empty((batch, steps, size))
+    tanh_cell = np.empty((batch, steps, size))
+    w_hh_t = weights.weight_hh.T
+    bias_hh = weights.bias_hh
+    for t in range(steps):
+        active = batch if counts is None else int(counts[t])
+        if active == 0:
+            hidden_seq[:, t:] = hidden[:, None, :]
+            cell_seq[:, t:] = cell[:, None, :]
+            break
+        h_act = hidden[:active]
+        c_act = cell[:active]
+        gx = gates_x[:active, t]
+        gh = h_act @ w_hh_t + bias_hh
+        gate_block = sigmoid(gx[:, :2 * size] + gh[:, :2 * size])
+        in_gate = gate_block[:, :size]
+        forget = gate_block[:, size:]
+        candidate = np.tanh(gx[:, 2 * size:3 * size] + gh[:, 2 * size:3 * size])
+        out_gate = sigmoid(gx[:, 3 * size:] + gh[:, 3 * size:])
+        gates[:active, t, :2 * size] = gate_block
+        gates[:active, t, 2 * size:3 * size] = candidate
+        gates[:active, t, 3 * size:] = out_gate
+        new_cell = forget * c_act + in_gate * candidate
+        tanh_new = np.tanh(new_cell)
+        new_hidden = out_gate * tanh_new
+        tanh_cell[:active, t] = tanh_new
+        if counts is None and mask is not None:
+            step_mask = mask[:, t:t + 1]
+            hidden = np.where(step_mask, new_hidden, hidden)
+            cell = np.where(step_mask, new_cell, cell)
+        elif active == batch:
+            hidden, cell = new_hidden, new_cell
+        else:
+            hidden[:active] = new_hidden
+            cell[:active] = new_cell
+        hidden_seq[:, t] = hidden
+        cell_seq[:, t] = cell
+    return RnnTrainCache(kind="lstm", x=x, gates=gates, hidden_seq=hidden_seq,
+                         hidden_0=hidden_0, counts=counts, mask=mask,
+                         last=(hidden, cell), cell_seq=cell_seq, cell_0=cell_0,
+                         tanh_cell=tanh_cell)
+
+
+def rnn_forward_train(weights, x, lengths=None, mask=None, initial=None):
+    """Dispatch to the GRU or LSTM training forward by ``weights.kind``."""
+    if weights.kind == "gru":
+        return gru_forward_train(weights, x, lengths=lengths, mask=mask,
+                                 initial=initial)
+    if weights.kind == "lstm":
+        return lstm_forward_train(weights, x, lengths=lengths, mask=mask,
+                                  initial=initial)
+    raise ValueError("unknown cell kind %r" % weights.kind)
+
+
+def _step_rows(cache, t):
+    """(active, mask_col) execution descriptor of step ``t`` in backward.
+
+    ``active`` is the row-prefix length for the packed path (0 skips the
+    step); ``mask_col`` is the ``(B, 1)`` boolean column for the
+    mask-freezing path (None on the packed path).
+    """
+    batch = cache.x.shape[0]
+    if cache.counts is not None:
+        return int(cache.counts[t]), None
+    if cache.mask is not None:
+        return batch, cache.mask[:, t:t + 1]
+    return batch, None
+
+
+def _finish_input_grads(weights, x, d_gates_x):
+    """The fused tail of BPTT: input-side gradients as three big matmuls."""
+    batch, steps, dim = x.shape
+    flat_x = x.reshape(batch * steps, dim)
+    flat_g = d_gates_x.reshape(batch * steps, -1)
+    return {
+        "weight_ih": flat_g.T @ flat_x,
+        "bias_ih": flat_g.sum(axis=0),
+        "d_x": (flat_g @ weights.weight_ih).reshape(batch, steps, dim),
+    }
+
+
+def gru_backward(weights, cache, d_last, d_outputs=None):
+    """Hand-derived BPTT through a cached GRU forward.
+
+    Parameters
+    ----------
+    weights:
+        The :class:`~repro.nn.CellWeights` the forward ran with.
+    cache:
+        The :class:`RnnTrainCache` from :func:`gru_forward_train`.
+    d_last:
+        Loss gradient wrt the final hidden state, ``(B, H)``.
+    d_outputs:
+        Optional loss gradient wrt every per-step state, ``(B, T, H)``
+        (CPC-style objectives).
+
+    Returns
+    -------
+    dict with ``d_x`` (gradient wrt the event representations, ``(B, T,
+    D)``) and per-parameter gradients ``weight_ih``, ``weight_hh``,
+    ``bias_ih``, ``bias_hh``, ``init_state`` — the exact quantities the
+    autograd path accumulates, to < 1e-8.
+    """
+    batch, steps, _ = cache.x.shape
+    size = weights.hidden_size
+    d_hidden = np.array(d_last, dtype=np.float64, copy=True)
+    d_gates_x = np.zeros((batch, steps, 3 * size))
+    d_weight_hh = np.zeros_like(weights.weight_hh)
+    d_bias_hh = np.zeros_like(weights.bias_hh)
+    w_hh = weights.weight_hh
+    for t in range(steps - 1, -1, -1):
+        if d_outputs is not None:
+            d_hidden += d_outputs[:, t]
+        active, mask_col = _step_rows(cache, t)
+        if active == 0:
+            continue
+        dh = d_hidden[:active] if mask_col is None else d_hidden * mask_col
+        h_prev = (cache.hidden_seq[:active, t - 1] if t > 0
+                  else cache.hidden_0[:active])
+        gate_block = cache.gates[:active, t]
+        reset = gate_block[:, :size]
+        update = gate_block[:, size:2 * size]
+        candidate = gate_block[:, 2 * size:]
+        gh_n = cache.gate_hidden[:active, t]
+        d_candidate = dh * (1.0 - update)
+        d_update = dh * (h_prev - candidate)
+        d_prev = dh * update
+        da_n = d_candidate * (1.0 - candidate * candidate)
+        d_reset = da_n * gh_n
+        da_r = d_reset * reset * (1.0 - reset)
+        da_z = d_update * update * (1.0 - update)
+        d_gh = np.concatenate([da_r, da_z, da_n * reset], axis=1)
+        d_gates_x[:active, t, :2 * size] = d_gh[:, :2 * size]
+        d_gates_x[:active, t, 2 * size:] = da_n
+        d_prev = d_prev + d_gh @ w_hh
+        d_weight_hh += d_gh.T @ h_prev
+        d_bias_hh += d_gh.sum(axis=0)
+        if mask_col is None:
+            d_hidden[:active] = d_prev
+        else:
+            d_hidden = np.where(mask_col, d_prev, d_hidden)
+    grads = _finish_input_grads(weights, cache.x, d_gates_x)
+    grads["weight_hh"] = d_weight_hh
+    grads["bias_hh"] = d_bias_hh
+    grads["init_state"] = d_hidden.sum(axis=0)
+    return grads
+
+
+def lstm_backward(weights, cache, d_last, d_outputs=None):
+    """Hand-derived BPTT through a cached LSTM forward.
+
+    Same contract as :func:`gru_backward`; ``d_last`` is the gradient wrt
+    the final *hidden* state only (the loss never sees the cell), and the
+    result additionally carries ``init_cell``.
+    """
+    batch, steps, _ = cache.x.shape
+    size = weights.hidden_size
+    d_hidden = np.array(d_last, dtype=np.float64, copy=True)
+    d_cell = np.zeros((batch, size))
+    d_gates_x = np.zeros((batch, steps, 4 * size))
+    d_weight_hh = np.zeros_like(weights.weight_hh)
+    d_bias_hh = np.zeros_like(weights.bias_hh)
+    w_hh = weights.weight_hh
+    for t in range(steps - 1, -1, -1):
+        if d_outputs is not None:
+            d_hidden += d_outputs[:, t]
+        active, mask_col = _step_rows(cache, t)
+        if active == 0:
+            continue
+        if mask_col is None:
+            dh = d_hidden[:active]
+            dc = d_cell[:active]
+        else:
+            dh = d_hidden * mask_col
+            dc = d_cell * mask_col
+        h_prev = (cache.hidden_seq[:active, t - 1] if t > 0
+                  else cache.hidden_0[:active])
+        c_prev = (cache.cell_seq[:active, t - 1] if t > 0
+                  else cache.cell_0[:active])
+        gate_block = cache.gates[:active, t]
+        in_gate = gate_block[:, :size]
+        forget = gate_block[:, size:2 * size]
+        candidate = gate_block[:, 2 * size:3 * size]
+        out_gate = gate_block[:, 3 * size:]
+        tanh_c = cache.tanh_cell[:active, t]
+        d_out = dh * tanh_c
+        dc = dc + dh * out_gate * (1.0 - tanh_c * tanh_c)
+        d_in = dc * candidate
+        d_forget = dc * c_prev
+        d_candidate = dc * in_gate
+        d_cell_prev = dc * forget
+        da_i = d_in * in_gate * (1.0 - in_gate)
+        da_f = d_forget * forget * (1.0 - forget)
+        da_g = d_candidate * (1.0 - candidate * candidate)
+        da_o = d_out * out_gate * (1.0 - out_gate)
+        d_gh = np.concatenate([da_i, da_f, da_g, da_o], axis=1)
+        d_gates_x[:active, t] = d_gh
+        d_prev = d_gh @ w_hh
+        d_weight_hh += d_gh.T @ h_prev
+        d_bias_hh += d_gh.sum(axis=0)
+        if mask_col is None:
+            d_hidden[:active] = d_prev
+            d_cell[:active] = d_cell_prev
+        else:
+            d_hidden = np.where(mask_col, d_prev, d_hidden)
+            d_cell = np.where(mask_col, d_cell_prev, d_cell)
+    grads = _finish_input_grads(weights, cache.x, d_gates_x)
+    grads["weight_hh"] = d_weight_hh
+    grads["bias_hh"] = d_bias_hh
+    grads["init_state"] = d_hidden.sum(axis=0)
+    grads["init_cell"] = d_cell.sum(axis=0)
+    return grads
+
+
+def rnn_backward(weights, cache, d_last, d_outputs=None):
+    """Dispatch to the GRU or LSTM backward kernel by ``cache.kind``."""
+    if cache.kind == "gru":
+        return gru_backward(weights, cache, d_last, d_outputs=d_outputs)
+    if cache.kind == "lstm":
+        return lstm_backward(weights, cache, d_last, d_outputs=d_outputs)
+    raise ValueError("unknown cell kind %r" % cache.kind)
+
+
+def _embedding_parts(trx_encoder, batch):
+    """Categorical embedding lookups as raw arrays, schema order.
+
+    Ids are range-checked with the same error as ``Embedding.forward`` so
+    the fused paths reject exactly the batches the Tensor path rejects
+    (a negative id must not silently wrap to the table's last row).
+    """
+    parts = []
+    for name in trx_encoder.schema.categorical:
+        module = trx_encoder.embeddings[name]
+        ids = np.asarray(batch.fields[name])
+        if ids.min() < 0 or ids.max() >= module.num_embeddings:
+            raise IndexError(
+                "embedding ids out of range [0, %d): min=%d max=%d"
+                % (module.num_embeddings, ids.min(), ids.max())
+            )
+        parts.append(module.weight.data[ids])
+    return parts
+
+
+def _batchnorm_stats(norm, numeric, mask, training):
+    """The (mean, var) a ``BatchNorm1d`` would use, updating its buffers.
+
+    Mirrors ``BatchNorm1d.forward`` exactly: training mode computes the
+    masked batch statistics and folds them into the running buffers with
+    the module's own momentum/_set_buffer, eval mode reads the running
+    buffers — so checkpoints from the fused and Tensor engines carry
+    identical statistics.
+    """
+    if not training:
+        return norm.running_mean, norm.running_var
+    flat = numeric[np.asarray(mask, dtype=bool)]
+    if len(flat) == 0:
+        raise ValueError("batch norm received an empty batch")
+    mean = flat.mean(axis=0)
+    var = flat.var(axis=0)
+    norm._set_buffer(
+        "running_mean",
+        (1 - norm.momentum) * norm.running_mean + norm.momentum * mean,
+    )
+    norm._set_buffer(
+        "running_var",
+        (1 - norm.momentum) * norm.running_var + norm.momentum * var,
+    )
+    return mean, var
+
+
+def _encode(trx_encoder, batch, prev_times, training):
+    """Shared event-encoding pipeline behind both fused entry points."""
+    trx_encoder.check_batch_schema(batch)
+    parts = _embedding_parts(trx_encoder, batch)
+    scaled = None
+    norm = trx_encoder.numeric_norm
+    if norm is not None:
+        numeric = trx_encoder._numeric_array(batch, prev_times=prev_times)
+        mean, var = _batchnorm_stats(norm, numeric, batch.mask,
+                                     training and norm.training)
+        scaled = (numeric - mean) / np.sqrt(var + norm.eps)
+        parts.append(scaled * norm.weight.data + norm.bias.data)
+    if not parts:
+        raise ValueError("schema has no event fields to encode")
+    x = np.concatenate(parts, axis=-1) if len(parts) > 1 else parts[0]
+    return x, scaled
+
+
 def encode_events(trx_encoder, batch, prev_times=None):
     """Graph-free event encoding: the eval-mode ``TrxEncoder`` as raw numpy.
 
@@ -216,18 +648,18 @@ def encode_events(trx_encoder, batch, prev_times=None):
     (training-mode statistics are a training concern and never used when
     serving).  Returns ``(B, T, D)`` float64.
     """
-    trx_encoder.check_batch_schema(batch)
-    parts = []
-    for name in trx_encoder.schema.categorical:
-        table = trx_encoder.embeddings[name].weight.data
-        parts.append(table[batch.fields[name]])
-    norm = trx_encoder.numeric_norm
-    if norm is not None:
-        numeric = trx_encoder._numeric_array(batch, prev_times=prev_times)
-        scaled = (numeric - norm.running_mean) / np.sqrt(
-            norm.running_var + norm.eps
-        )
-        parts.append(scaled * norm.weight.data + norm.bias.data)
-    if not parts:
-        raise ValueError("schema has no event fields to encode")
-    return np.concatenate(parts, axis=-1) if len(parts) > 1 else parts[0]
+    x, _ = _encode(trx_encoder, batch, prev_times, training=False)
+    return x
+
+
+def encode_events_train(trx_encoder, batch):
+    """Event encoding under *training* semantics, plus the backward stash.
+
+    Same pipeline as :func:`encode_events` (one shared implementation),
+    but when the encoder's batch norm is in training mode it normalises
+    by the masked batch statistics and updates the running buffers —
+    op-for-op what ``TrxEncoder.forward`` does.  Returns ``(x, scaled)``
+    where ``scaled`` is the pre-affine normalised numeric block the batch
+    norm backward needs (None without numeric features).
+    """
+    return _encode(trx_encoder, batch, None, training=True)

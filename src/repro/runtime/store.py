@@ -150,6 +150,7 @@ class EmbeddingStore:
         return entity_id in self._hidden
 
     def known_entities(self):
+        """Sorted ids of every entity with stored state."""
         return sorted(self._hidden)
 
     def last_time(self, entity_id):

@@ -1,0 +1,213 @@
+"""Fused training runtime: graph-free forward+backward for the encoder.
+
+PR 1 gave *inference* the fused kernels; training still stepped the
+autograd :class:`~repro.nn.Tensor` graph one timestep at a time.  This
+module closes that gap.  :class:`FusedTrainStep` runs a
+:class:`~repro.encoders.RnnSeqEncoder`'s whole training forward —
+event encoding with *training-mode* batch norm, the recurrence over a
+length-sorted packed batch, the unit-norm head — in raw numpy, and then
+backpropagates a loss gradient through hand-derived BPTT
+(:func:`repro.runtime.kernels.rnn_backward`) into the very
+:class:`~repro.nn.Parameter` objects the optimisers update.  No Tensor
+graph is ever built for the encoder.
+
+The split of labour is the **loss-gradient interface**: the encoder side
+(the ``(B, T)`` hot path) is fused, while the loss itself — a function of
+the small ``(B, H)`` embedding matrix — still runs through autograd via
+:func:`loss_gradient`.  Any objective expressible on the final embeddings
+(every metric-learning loss in :mod:`repro.losses`, the NSP/SOP pair
+heads) therefore works with the fused engine unchanged; objectives that
+consume *per-step* states and event representations (CPC, RTD) stay on
+the Tensor engine.
+
+Equivalence contract: gradients match the autograd path to < 1e-8 and
+batch-norm running statistics update identically, so
+``TrainConfig(engine="fused")`` and ``engine="tensor"`` walk the same
+optimisation trajectory — property-tested by
+``tests/runtime/test_fused_training.py``.  The weights live in the same
+:class:`~repro.nn.CellWeights` layout, so a fused-trained encoder drops
+directly into :class:`~repro.runtime.FusedEncoderRuntime` and the serving
+stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..encoders.seq_encoder import RnnSeqEncoder
+from ..nn.tensor import Tensor
+from . import kernels
+
+__all__ = ["FusedTrainStep", "FusedForwardCache", "loss_gradient"]
+
+
+def loss_gradient(loss_fn, embeddings, groups, rng=None):
+    """Evaluate a loss and its gradient wrt a raw embedding matrix.
+
+    The adapter between the fused encoder and the autograd losses: wraps
+    the ``(B, H)`` numpy ``embeddings`` in a leaf
+    :class:`~repro.nn.Tensor`, calls ``loss_fn(leaf, groups, rng=rng)``
+    and backpropagates through the (small) loss graph only.  Returns
+    ``(loss_value, d_embeddings)``.
+
+    Because the loss sees the same embedding values and the same ``rng``,
+    negative sampling, pair mining and every loss variant behave exactly
+    as on the Tensor engine.
+    """
+    leaf = Tensor(embeddings, requires_grad=True)
+    loss = loss_fn(leaf, groups, rng=rng)
+    loss.backward()
+    grad = leaf.grad
+    if grad is None:
+        grad = np.zeros_like(leaf.data)
+    return loss.item(), grad
+
+
+@dataclass
+class FusedForwardCache:
+    """Everything one fused training forward retains for its backward.
+
+    ``embeddings`` (the post-head ``(B, H)`` matrix, batch order) is the
+    only field callers should read; the rest is consumed by
+    :meth:`FusedTrainStep.backward` exactly once.
+    """
+
+    batch: object            # the PaddedBatch the step ran on
+    rnn_cache: object        # kernels.RnnTrainCache (rows in sorted order)
+    perm: np.ndarray         # batch-order -> sorted-order permutation
+    inverse: np.ndarray      # sorted-order -> batch-order permutation
+    hidden: np.ndarray       # (B, H) final states, batch order, pre-head
+    embeddings: np.ndarray   # (B, H) post-head embeddings, batch order
+    bn_scaled: np.ndarray    # (B, T, F) normalised numericals (or None)
+
+
+class FusedTrainStep:
+    """Graph-free forward+backward for a recurrent sequence encoder.
+
+    Usage (what ``ContrastiveTrainer`` does under ``engine="fused"``)::
+
+        step = FusedTrainStep(encoder)
+        cache = step.forward(batch)
+        value, d_emb = loss_gradient(loss_fn, cache.embeddings,
+                                     batch.seq_ids, rng)
+        optimizer.zero_grad()
+        step.backward(cache, d_emb)
+        optimizer.step()
+
+    The forward sorts the batch rows longest-first so the recurrence (and
+    its BPTT) runs on shrinking active row prefixes — training batches
+    from the CoLES augmentation pipeline arrive unsorted, and mask-frozen
+    padded steps would otherwise burn most of the kernel time.  Batch
+    statistics, loss inputs and all gradients are computed in (or mapped
+    back to) the original row order, so the sort is invisible to callers.
+
+    Like :class:`~repro.runtime.FusedEncoderRuntime`, weights are read
+    through :meth:`~repro.nn.rnn._RecurrentBase.export_weights` on every
+    call and gradients are written through
+    :meth:`~repro.nn.rnn._RecurrentBase.cell_parameters`, so the step
+    always trains the encoder's current parameters.
+
+    Raises ``TypeError`` for non-recurrent encoders: fused BPTT is
+    recurrence-specific (transformers keep the Tensor engine).
+    """
+
+    def __init__(self, encoder):
+        if not isinstance(encoder, RnnSeqEncoder):
+            raise TypeError(
+                "the fused training engine requires a recurrent encoder "
+                "(got %s); use TrainConfig(engine=\"tensor\") for "
+                "transformers" % type(encoder).__name__
+            )
+        self.encoder = encoder
+
+    # ------------------------------------------------------------------
+    # forward
+    # ------------------------------------------------------------------
+    def forward(self, batch):
+        """Run the training forward; returns a :class:`FusedForwardCache`.
+
+        Training-mode semantics match ``encoder.embed(batch)`` with the
+        encoder in train mode: batch norm uses (and updates) the masked
+        batch statistics.  In eval mode the running statistics are used,
+        exactly like the Tensor path.
+        """
+        x, bn_scaled = kernels.encode_events_train(self.encoder.trx_encoder,
+                                                   batch)
+        lengths = np.asarray(batch.lengths)
+        perm = np.argsort(-lengths, kind="stable")
+        inverse = np.empty_like(perm)
+        inverse[perm] = np.arange(len(perm))
+        rnn_cache = kernels.rnn_forward_train(
+            self.encoder.rnn.export_weights(), x[perm], lengths=lengths[perm])
+        last = rnn_cache.last
+        hidden_sorted = last[0] if rnn_cache.kind == "lstm" else last
+        hidden = hidden_sorted[inverse]
+        if self.encoder.normalize:
+            embeddings = kernels.l2_normalize_rows(hidden)
+        else:
+            embeddings = np.array(hidden, copy=True)
+        return FusedForwardCache(batch=batch, rnn_cache=rnn_cache, perm=perm,
+                                 inverse=inverse, hidden=hidden,
+                                 embeddings=embeddings, bn_scaled=bn_scaled)
+
+    # ------------------------------------------------------------------
+    # backward
+    # ------------------------------------------------------------------
+    def backward(self, cache, d_embeddings):
+        """Accumulate encoder gradients from a loss gradient.
+
+        ``d_embeddings`` is dLoss/dEmbeddings, ``(B, H)`` in batch order
+        (what :func:`loss_gradient` returns).  Gradients accumulate into
+        ``param.grad`` of the live encoder parameters — additive, like
+        ``Tensor.backward`` — so clipping and the optimisers work
+        unchanged.  A cache must not be used twice.
+        """
+        d_hidden = np.asarray(d_embeddings, dtype=np.float64)
+        if self.encoder.normalize:
+            d_hidden = kernels.l2_normalize_rows_backward(cache.hidden,
+                                                          d_hidden)
+        weights = self.encoder.rnn.export_weights()
+        grads = kernels.rnn_backward(weights, cache.rnn_cache,
+                                     d_hidden[cache.perm])
+        for name, param in self.encoder.rnn.cell_parameters().items():
+            _accumulate(param, grads.get(name))
+        self._encode_events_backward(cache.batch, grads["d_x"][cache.inverse],
+                                     cache.bn_scaled)
+
+    def _encode_events_backward(self, batch, d_x, bn_scaled):
+        """Route ``dLoss/dx`` into the embedding tables and batch norm.
+
+        Splits the event-representation gradient along the concat layout
+        of ``_encode_events_train``: per-field scatter-adds into the
+        embedding tables (the ``take_rows`` gradient) and the affine batch
+        norm gradients.  The batch statistics are constants in the
+        autograd path, so — exactly like there — no gradient flows into
+        the raw numeric features.
+        """
+        trx = self.encoder.trx_encoder
+        offset = 0
+        for name in trx.schema.categorical:
+            weight = trx.embeddings[name].weight
+            dim = weight.data.shape[1]
+            d_table = np.zeros_like(weight.data)
+            np.add.at(d_table, batch.fields[name],
+                      d_x[..., offset:offset + dim])
+            _accumulate(weight, d_table)
+            offset += dim
+        norm = trx.numeric_norm
+        if norm is not None:
+            d_out = d_x[..., offset:]
+            _accumulate(norm.weight, (d_out * bn_scaled).sum(axis=(0, 1)))
+            _accumulate(norm.bias, d_out.sum(axis=(0, 1)))
+
+
+def _accumulate(param, grad):
+    """Add a raw-numpy gradient into a Parameter (None-safe both sides)."""
+    if param is None or grad is None:
+        return
+    if param.grad is None:
+        param.grad = grad
+    else:
+        param.grad = param.grad + grad

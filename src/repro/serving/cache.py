@@ -70,14 +70,17 @@ class EmbeddingCache:
         return dropped
 
     def clear(self):
+        """Drop every entry (counters are kept — they describe lifetime)."""
         self._entries.clear()
 
     @property
     def hit_rate(self):
+        """Lifetime fraction of lookups served from cache (0.0 when idle)."""
         lookups = self.hits + self.misses
         return 0.0 if lookups == 0 else self.hits / lookups
 
     def stats(self):
+        """Counters snapshot: size/capacity, hits, misses, evictions, ..."""
         return {
             "size": len(self._entries),
             "capacity": self.capacity,

@@ -93,17 +93,21 @@ class MicroBatcher:
     # ------------------------------------------------------------------
     @property
     def pending_events(self):
+        """Total buffered events across all entities."""
         return self._pending_events
 
     @property
     def pending_entities(self):
+        """Number of entities with at least one buffered chunk."""
         return len(self._chunks)
 
     @property
     def should_flush(self):
+        """True once the buffer reached ``flush_events`` pending events."""
         return self._pending_events >= self.flush_events
 
     def has_pending(self, entity_id):
+        """Whether this entity has buffered (not yet applied) events."""
         return entity_id in self._chunks
 
     # ------------------------------------------------------------------

@@ -159,6 +159,7 @@ class EmbeddingService:
         return self.query([entity_id])[0]
 
     def known_entities(self):
+        """All entity ids with applied (flushed) state, globally sorted."""
         return self.store.known_entities()
 
     def __contains__(self, entity_id):

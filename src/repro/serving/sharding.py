@@ -100,18 +100,22 @@ class ShardedEmbeddingStore:
         return entity_id in self.shard_for(entity_id)
 
     def known_entities(self):
+        """All entity ids across shards, globally sorted."""
         merged = []
         for shard in self.shards:
             merged.extend(shard.known_entities())
         return sorted(merged)
 
     def last_time(self, entity_id):
+        """Timestamp of the entity's most recent folded event (or None)."""
         return self.shard_for(entity_id).last_time(entity_id)
 
     def state_of(self, entity_id):
+        """``(hidden, cell, last_time)`` from the owning shard, else None."""
         return self.shard_for(entity_id).state_of(entity_id)
 
     def put_state(self, entity_id, hidden, cell=None, last_time=None):
+        """Record an entity's recurrent state on its owning shard."""
         self.shard_for(entity_id).put_state(entity_id, hidden, cell=cell,
                                             last_time=last_time)
 
@@ -119,6 +123,7 @@ class ShardedEmbeddingStore:
     # reads
     # ------------------------------------------------------------------
     def embedding(self, entity_id):
+        """Current embedding of one entity, ``(d,)``, shard-routed."""
         return self.shard_for(entity_id).embedding(entity_id)
 
     def embeddings(self, entity_ids=None):

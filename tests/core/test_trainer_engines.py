@@ -1,0 +1,145 @@
+"""Engine selection in the training loops: fused vs tensor.
+
+``TrainConfig(engine=...)`` (and ``PretrainConfig(engine=...)`` for the
+pair baselines) switches the encoder's forward+backward between the
+autograd graph and the fused BPTT runtime.  The contract tested here:
+
+- after 0 steps the engines are indistinguishable — byte-identical
+  checkpoints (selecting an engine must not touch the weights);
+- after N real optimisation steps on synthetic data the trained weights
+  agree to < 1e-8 (same gradients -> same Adam trajectory);
+- invalid engines and unsupported encoders fail loudly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.augmentations import RandomSlices
+from repro.baselines import NSP, SOP
+from repro.baselines.pretrain_common import PretrainConfig
+from repro.core import ContrastiveTrainer, TrainConfig
+from repro.data.synthetic import make_churn_dataset
+from repro.encoders import build_encoder
+from repro.losses import ContrastiveLoss
+
+
+def _dataset(seed=0):
+    return make_churn_dataset(num_clients=12, mean_length=25, min_length=10,
+                              max_length=50, seed=seed)
+
+
+def _trainer(dataset, engine, cell="gru", num_epochs=2):
+    encoder = build_encoder(dataset.schema, 12, cell,
+                            rng=np.random.default_rng(5))
+    config = TrainConfig(num_epochs=num_epochs, batch_size=6,
+                         learning_rate=0.01, seed=3, engine=engine)
+    return ContrastiveTrainer(encoder, ContrastiveLoss(),
+                              RandomSlices(5, 20, 3), config)
+
+
+def test_engines_byte_identical_after_zero_steps():
+    """Selecting an engine is free: no weight is touched before step 1."""
+    dataset = _dataset()
+    tensor = _trainer(dataset, "tensor")
+    fused = _trainer(dataset, "fused")
+    tensor_state = tensor.encoder.state_dict()
+    fused_state = fused.encoder.state_dict()
+    assert tensor_state.keys() == fused_state.keys()
+    for name, value in tensor_state.items():
+        assert value.tobytes() == fused_state[name].tobytes(), name
+
+
+@pytest.mark.parametrize("cell", ["gru", "lstm"])
+def test_engines_equivalent_after_training(cell):
+    """N small steps on either engine land on the same weights (< 1e-8)."""
+    dataset = _dataset()
+    tensor = _trainer(dataset, "tensor", cell=cell)
+    fused = _trainer(dataset, "fused", cell=cell)
+    tensor.fit(dataset)
+    fused.fit(dataset)
+
+    assert len(tensor.history) == len(fused.history)
+    for ref, got in zip(tensor.history, fused.history):
+        assert got.num_batches == ref.num_batches
+        assert got.mean_loss == pytest.approx(ref.mean_loss, abs=1e-8)
+
+    fused_state = fused.encoder.state_dict()
+    for name, value in tensor.encoder.state_dict().items():
+        np.testing.assert_allclose(fused_state[name], value, atol=1e-8,
+                                   rtol=1e-8, err_msg=name)
+
+
+def test_fused_trained_weights_serve_through_runtime():
+    """The train-vs-serve handoff: fused-trained weights serve unchanged."""
+    dataset = _dataset(seed=4)
+    trainer = _trainer(dataset, "fused", num_epochs=1)
+    trainer.fit(dataset)
+    runtime = trainer.encoder.fused_runtime()
+    served = runtime.embed_dataset(dataset)
+    reference = np.stack([
+        trainer.encoder.embed(_collate_one(seq, dataset.schema)).data[0]
+        for seq in dataset.sequences
+    ])
+    np.testing.assert_allclose(served, reference, atol=1e-10)
+
+
+def _collate_one(seq, schema):
+    from repro.data.batches import collate
+
+    return collate([seq], schema)
+
+
+def test_unknown_engine_rejected():
+    with pytest.raises(ValueError):
+        TrainConfig(engine="cuda")
+    with pytest.raises(ValueError):
+        PretrainConfig(engine="cuda")
+
+
+def test_per_step_baselines_reject_fused_engine():
+    """CPC/RTD cannot honour engine="fused" and must say so, not no-op."""
+    from repro.baselines import CPC, RTD
+
+    dataset = _dataset()
+    for task in (CPC(dataset.schema, hidden_size=8, seed=0),
+                 RTD(dataset.schema, hidden_size=8, seed=0)):
+        with pytest.raises(ValueError, match="fused"):
+            task.fit(dataset, PretrainConfig(num_epochs=1, engine="fused"))
+
+
+def test_fused_engine_rejects_transformer():
+    """The fused engine is recurrence-specific and says so at build time."""
+    dataset = _dataset()
+    encoder = build_encoder(dataset.schema, 8, "transformer",
+                            rng=np.random.default_rng(0))
+    with pytest.raises(TypeError):
+        ContrastiveTrainer(encoder, ContrastiveLoss(), RandomSlices(5, 20, 3),
+                           TrainConfig(engine="fused"))
+
+
+@pytest.mark.parametrize("task_cls", [NSP, SOP])
+def test_pair_baselines_engines_equivalent(task_cls):
+    """NSP/SOP under engine="fused" track the tensor engine to < 1e-8."""
+    dataset = _dataset(seed=8)
+
+    def fit(engine):
+        encoder = build_encoder(dataset.schema, 10, "gru",
+                                rng=np.random.default_rng(2))
+        task = task_cls(encoder, dataset.schema, seed=1)
+        task.fit(dataset, PretrainConfig(num_epochs=2, batch_size=6,
+                                         learning_rate=0.01, seed=5,
+                                         engine=engine))
+        return task
+
+    tensor_task = fit("tensor")
+    fused_task = fit("fused")
+    np.testing.assert_allclose(fused_task.history, tensor_task.history,
+                               atol=1e-8)
+    fused_state = fused_task.encoder.state_dict()
+    for name, value in tensor_task.encoder.state_dict().items():
+        np.testing.assert_allclose(fused_state[name], value, atol=1e-8,
+                                   rtol=1e-8, err_msg=name)
+    fused_head = dict(fused_task.head.named_parameters())
+    for name, param in tensor_task.head.named_parameters():
+        np.testing.assert_allclose(fused_head[name].data, param.data,
+                                   atol=1e-8, rtol=1e-8, err_msg=name)

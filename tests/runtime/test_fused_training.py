@@ -1,0 +1,286 @@
+"""Property-style equivalence: fused BPTT vs the autograd training path.
+
+The contract of :mod:`repro.runtime.training` is that the fused engine
+computes the *same gradients* as the Tensor graph (to < 1e-8) for every
+contrastive loss, both cell kinds, and variable-length batches in any row
+order — so ``TrainConfig(engine="fused")`` walks the same optimisation
+trajectory as the seed implementation, only faster.  These tests
+randomize shapes, lengths, losses and the packed/masked execution paths.
+"""
+
+import numpy as np
+import pytest
+
+from repro.augmentations import RandomSlices
+from repro.core.batching import augment_batch
+from repro.data.synthetic import make_churn_dataset
+from repro.encoders import build_encoder
+from repro.losses import LOSSES
+from repro.nn import GRU, LSTM, Tensor, where
+from repro.runtime import kernels
+from repro.runtime.training import FusedTrainStep, loss_gradient
+
+ATOL = 1e-8
+RTOL = 1e-8
+
+
+def _random_lengths(rng, batch, steps, sort=False):
+    lengths = rng.integers(1, steps + 1, size=batch)
+    lengths[rng.integers(0, batch)] = steps  # at least one full row
+    if sort:
+        lengths = np.sort(lengths)[::-1]
+    return lengths
+
+
+def _tensor_cell_grads(cell, x, mask, d_last, d_outputs):
+    """Reference gradients through the autograd recurrence."""
+    x_tensor = Tensor(x, requires_grad=True)
+    states, last = cell(x_tensor, mask=mask)
+    objective = (last * Tensor(d_last)).sum()
+    if d_outputs is not None:
+        objective = objective + (states * Tensor(d_outputs)).sum()
+    cell.zero_grad()
+    objective.backward()
+    grads = {name: param.grad.copy()
+             for name, param in cell.named_parameters()}
+    return grads, x_tensor.grad.copy()
+
+
+@pytest.mark.parametrize("cell_cls,kind", [(GRU, "gru"), (LSTM, "lstm")])
+@pytest.mark.parametrize("sort", [True, False], ids=["packed", "masked"])
+@pytest.mark.parametrize("per_step", [False, True], ids=["last", "last+steps"])
+def test_rnn_backward_matches_autograd(cell_cls, kind, sort, per_step):
+    """Hand-derived BPTT == autograd for random shapes/lengths/objectives.
+
+    ``sort=True`` exercises the packed (shrinking active window) path,
+    ``sort=False`` the mask-freezing fallback; ``per_step`` additionally
+    feeds a gradient into every per-step state (the CPC-style
+    ``d_outputs`` interface).
+    """
+    rng = np.random.default_rng(17 + 2 * (kind == "lstm") + int(sort))
+    for trial in range(3):
+        batch = int(rng.integers(2, 8))
+        steps = int(rng.integers(2, 20))
+        dim = int(rng.integers(1, 10))
+        hidden = int(rng.integers(1, 12))
+        cell = cell_cls(dim, hidden, rng=rng)
+        x = rng.standard_normal((batch, steps, dim))
+        lengths = _random_lengths(rng, batch, steps, sort=sort)
+        mask = np.arange(steps)[None, :] < lengths[:, None]
+        d_last = rng.standard_normal((batch, hidden))
+        d_outputs = (rng.standard_normal((batch, steps, hidden))
+                     if per_step else None)
+
+        ref_grads, ref_dx = _tensor_cell_grads(cell, x, mask, d_last,
+                                               d_outputs)
+
+        weights = cell.export_weights()
+        cache = kernels.rnn_forward_train(weights, x, lengths=lengths)
+        grads = kernels.rnn_backward(weights, cache, d_last,
+                                     d_outputs=d_outputs)
+
+        np.testing.assert_allclose(grads["d_x"], ref_dx, atol=ATOL, rtol=RTOL)
+        for name, reference in ref_grads.items():
+            np.testing.assert_allclose(grads[name], reference, atol=ATOL,
+                                       rtol=RTOL, err_msg="%s/%s" % (kind, name))
+
+
+def test_packed_and_masked_backward_agree():
+    """The two BPTT execution strategies produce identical gradients."""
+    rng = np.random.default_rng(5)
+    cell = GRU(6, 10, rng=rng)
+    x = rng.standard_normal((5, 12, 6))
+    lengths = np.sort(rng.integers(1, 13, size=5))[::-1]
+    mask = np.arange(12)[None, :] < lengths[:, None]
+    d_last = rng.standard_normal((5, 10))
+    weights = cell.export_weights()
+    packed = kernels.rnn_backward(
+        weights, kernels.gru_forward_train(weights, x, lengths=lengths), d_last)
+    masked = kernels.rnn_backward(
+        weights, kernels.gru_forward_train(weights, x, mask=mask), d_last)
+    for name, value in packed.items():
+        np.testing.assert_allclose(masked[name], value, atol=1e-12,
+                                   err_msg=name)
+
+
+def _coles_batch(seed=3):
+    dataset = make_churn_dataset(num_clients=8, mean_length=30, min_length=8,
+                                 max_length=60, seed=seed)
+    rng = np.random.default_rng(seed)
+    batch = augment_batch(dataset.sequences, dataset.schema,
+                          RandomSlices(5, 25, 3), rng)
+    assert batch is not None
+    return dataset, batch
+
+
+@pytest.mark.parametrize("cell", ["gru", "lstm"])
+@pytest.mark.parametrize("loss_name", sorted(LOSSES))
+def test_encoder_gradients_match_tensor_engine(cell, loss_name):
+    """Full-encoder fused gradients == autograd, for every loss.
+
+    Covers the whole fused training stack on a real CoLES batch
+    (variable lengths, unsorted rows): training-mode batch norm with
+    running-buffer updates, embedding-table scatter gradients, BPTT and
+    the unit-norm head, with the loss driven through the loss-gradient
+    interface.
+    """
+    dataset, batch = _coles_batch()
+    reference = build_encoder(dataset.schema, 16, cell,
+                              rng=np.random.default_rng(1))
+    fused = build_encoder(dataset.schema, 16, cell,
+                          rng=np.random.default_rng(1))
+    reference.train()
+    fused.train()
+    loss_fn = LOSSES[loss_name]()
+
+    embeddings = reference.embed(batch)
+    loss = loss_fn(embeddings, batch.seq_ids, rng=np.random.default_rng(7))
+    reference.zero_grad()
+    loss.backward()
+
+    step = FusedTrainStep(fused)
+    cache = step.forward(batch)
+    value, d_embeddings = loss_gradient(loss_fn, cache.embeddings,
+                                        batch.seq_ids,
+                                        rng=np.random.default_rng(7))
+    fused.zero_grad()
+    step.backward(cache, d_embeddings)
+
+    np.testing.assert_allclose(cache.embeddings, embeddings.data, atol=1e-10)
+    assert abs(value - loss.item()) < ATOL
+    fused_params = dict(fused.named_parameters())
+    for name, param in reference.named_parameters():
+        if param.grad is None:
+            assert fused_params[name].grad is None
+            continue
+        np.testing.assert_allclose(fused_params[name].grad, param.grad,
+                                   atol=ATOL, rtol=RTOL, err_msg=name)
+    # Training-mode batch norm updated the running buffers identically.
+    fused_buffers = dict(fused.named_buffers())
+    for name, buffer in reference.named_buffers():
+        np.testing.assert_array_equal(fused_buffers[name], buffer,
+                                      err_msg=name)
+
+
+def test_eval_mode_uses_running_statistics():
+    """In eval mode the fused forward matches ``embed`` bit-for-rounding."""
+    dataset, batch = _coles_batch(seed=9)
+    encoder = build_encoder(dataset.schema, 12, "gru",
+                            rng=np.random.default_rng(2))
+    encoder.train()
+    FusedTrainStep(encoder).forward(batch)  # perturb the running buffers
+    encoder.eval()
+    cache = FusedTrainStep(encoder).forward(batch)
+    np.testing.assert_allclose(cache.embeddings,
+                               encoder.embed(batch).data, atol=1e-10)
+
+
+def test_loss_gradient_matches_direct_autograd():
+    """The loss-gradient adapter returns the exact leaf gradient."""
+    rng = np.random.default_rng(11)
+    embeddings = rng.standard_normal((10, 6))
+    groups = np.repeat(np.arange(5), 2)
+    loss_fn = LOSSES["contrastive"]()
+
+    leaf = Tensor(embeddings, requires_grad=True)
+    loss = loss_fn(leaf, groups, rng=np.random.default_rng(3))
+    loss.backward()
+
+    value, grad = loss_gradient(loss_fn, embeddings, groups,
+                                rng=np.random.default_rng(3))
+    assert value == pytest.approx(loss.item())
+    np.testing.assert_array_equal(grad, leaf.grad)
+
+
+def test_fused_forward_rejects_out_of_range_ids():
+    """Invalid categorical ids raise exactly like ``Embedding.forward``."""
+    dataset, batch = _coles_batch(seed=2)
+    encoder = build_encoder(dataset.schema, 8, "gru",
+                            rng=np.random.default_rng(0))
+    name = next(iter(dataset.schema.categorical))
+    batch.fields[name] = batch.fields[name].copy()
+    batch.fields[name][0, 0] = -1
+    with pytest.raises(IndexError):
+        encoder.embed(batch)  # the Tensor path rejects it...
+    with pytest.raises(IndexError):
+        FusedTrainStep(encoder).forward(batch)  # ...and so does fused
+
+
+def test_fused_step_rejects_non_recurrent_encoders():
+    """Transformers stay on the Tensor engine; the error says so."""
+    dataset, _ = _coles_batch(seed=1)
+    transformer = build_encoder(dataset.schema, 8, "transformer",
+                                rng=np.random.default_rng(0))
+    with pytest.raises(TypeError):
+        FusedTrainStep(transformer)
+
+
+def test_l2_normalize_backward_matches_autograd():
+    """Row-normalisation gradient mirrors ``nn.functional.l2_normalize``."""
+    from repro.nn import functional as F
+
+    rng = np.random.default_rng(23)
+    x = rng.standard_normal((7, 5))
+    x[2] = 0.0  # exercise the eps-clipped branch
+    grad = rng.standard_normal((7, 5))
+
+    leaf = Tensor(x, requires_grad=True)
+    (F.l2_normalize(leaf) * Tensor(grad)).sum().backward()
+    np.testing.assert_allclose(
+        kernels.l2_normalize_rows_backward(x, grad), leaf.grad, atol=1e-12)
+
+
+def test_frozen_rows_pass_gradients_through():
+    """Rows shorter than the batch max route gradients around padded steps."""
+    rng = np.random.default_rng(31)
+    cell = GRU(4, 6, rng=rng)
+    x = rng.standard_normal((3, 10, 4))
+    lengths = np.array([10, 4, 1])
+    mask = np.arange(10)[None, :] < lengths[:, None]
+    d_last = rng.standard_normal((3, 6))
+
+    x_tensor = Tensor(x, requires_grad=True)
+    _, last = cell(x_tensor, mask=mask)
+    cell.zero_grad()
+    (last * Tensor(d_last)).sum().backward()
+
+    weights = cell.export_weights()
+    cache = kernels.gru_forward_train(weights, x, lengths=lengths)
+    grads = kernels.gru_backward(weights, cache, d_last)
+    np.testing.assert_allclose(grads["d_x"], x_tensor.grad, atol=ATOL)
+    # Gradients at padded positions are exactly zero on both paths.
+    assert np.all(grads["d_x"][~mask] == 0.0)
+    assert np.all(x_tensor.grad[~mask] == 0.0)
+    np.testing.assert_allclose(grads["init_state"], cell.init_state.grad,
+                               atol=ATOL)
+
+
+def test_lstm_initial_cell_gradient():
+    """The learnt c_0/h_0 of an LSTM receive the correct gradients."""
+    rng = np.random.default_rng(41)
+    cell = LSTM(3, 5, rng=rng)
+    x = rng.standard_normal((4, 6, 3))
+    lengths = np.array([6, 5, 2, 1])
+    mask = np.arange(6)[None, :] < lengths[:, None]
+    d_last = rng.standard_normal((4, 5))
+
+    # Autograd reference via the stepped module (forward() drops the cell).
+    hidden = cell.initial_state(4)
+    state_c = cell.initial_cell(4)
+    x_tensor = Tensor(x, requires_grad=True)
+    for t in range(6):
+        new_h, new_c = cell.step(x_tensor[:, t, :], (hidden, state_c))
+        keep = mask[:, t:t + 1]
+        hidden = where(keep, new_h, hidden)
+        state_c = where(keep, new_c, state_c)
+    cell.zero_grad()
+    (hidden * Tensor(d_last)).sum().backward()
+
+    weights = cell.export_weights()
+    cache = kernels.lstm_forward_train(weights, x, lengths=lengths)
+    grads = kernels.lstm_backward(weights, cache, d_last)
+    np.testing.assert_allclose(grads["init_state"], cell.init_state.grad,
+                               atol=ATOL)
+    np.testing.assert_allclose(grads["init_cell"], cell.init_cell.grad,
+                               atol=ATOL)
+    np.testing.assert_allclose(grads["d_x"], x_tensor.grad, atol=ATOL)
