@@ -34,9 +34,10 @@ def main():
     # 2. Phase 1 — self-supervised CoLES pre-training.
     #    Random slices (Algorithm 1) build positive pairs; the contrastive
     #    loss with hard negative mining shapes the embedding space.
-    #    engine="fused" trains through the graph-free BPTT runtime —
-    #    same gradients as the autograd engine (< 1e-8), several times
-    #    faster (see docs/architecture.md and BENCH_training.json).
+    #    Recurrent encoders train through the graph-free fused BPTT
+    #    runtime by default — same gradients as the autograd engine
+    #    (< 1e-8), several times faster (see docs/architecture.md and
+    #    BENCH_training.json); pass engine="tensor" to pin autograd.
     # ------------------------------------------------------------------
     model = CoLES(
         dataset.schema,
@@ -51,7 +52,7 @@ def main():
         seed=0,
     )
     model.fit(train, num_epochs=6, batch_size=16, learning_rate=0.01,
-              verbose=True, engine="fused")
+              verbose=True)
 
     # ------------------------------------------------------------------
     # 3. Phase 2a — embeddings as features for a downstream GBM.

@@ -5,8 +5,15 @@ representations ``z_{t+k}`` through per-horizon linear maps ``W_k``; the
 InfoNCE objective scores the true future against the other sequences'
 events at the same offset (the in-batch negatives).
 
-After pre-training, the GRU's final context state is the sequence
+After pre-training, the RNN's final context state is the sequence
 embedding used for downstream tasks.
+
+The objective consumes *per-step* context states and event
+representations, so under the fused engine the loss runs through
+autograd on two leaf tensors over the fused forward's cached arrays
+(``FusedForwardCache.states`` / ``.events``) and the leaf gradients feed
+back through ``FusedTrainStep.backward(d_states=..., d_events=...)`` —
+the per-step counterpart of the loss-gradient interface.
 """
 
 from __future__ import annotations
@@ -15,10 +22,11 @@ import numpy as np
 
 from ..data.sequences import SequenceDataset
 from ..encoders import RnnSeqEncoder, TrxEncoder
-from ..nn import Adam, Linear, clip_grad_norm
+from ..nn import Adam, Linear, Tensor, clip_grad_norm
 from ..nn import functional as F
-from .pretrain_common import (PretrainConfig, pretrain_batches,
-                              require_tensor_engine, truncate_tail)
+from ..runtime.training import FusedTrainStep, resolve_engine
+from .pretrain_common import (PretrainConfig, leaf_grad, pretrain_batches,
+                              truncate_tail)
 
 __all__ = ["CPC"]
 
@@ -34,16 +42,20 @@ class CPC:
         Context (and embedding) dimensionality.
     num_horizons:
         How many future steps K are predicted (W_1 ... W_K).
+    cell:
+        Recurrent context network: ``"gru"`` (paper default) or
+        ``"lstm"``.
     """
 
-    def __init__(self, schema, hidden_size=64, num_horizons=3, seed=0):
+    def __init__(self, schema, hidden_size=64, num_horizons=3, cell="gru",
+                 seed=0):
         if num_horizons < 1:
             raise ValueError("num_horizons must be >= 1")
         rng = np.random.default_rng(seed)
         trx = TrxEncoder(schema, rng=rng)
         # The context network; embeddings are raw final states (no
         # unit-norm head — CPC's scores are unnormalised dot products).
-        self.encoder = RnnSeqEncoder(trx, hidden_size, cell="gru",
+        self.encoder = RnnSeqEncoder(trx, hidden_size, cell=cell,
                                      normalize=False, rng=rng)
         self.schema = schema
         self.num_horizons = num_horizons
@@ -52,6 +64,7 @@ class CPC:
             for _ in range(num_horizons)
         ]
         self.history = []
+        self.engine = None  # resolved engine of the last fit()
 
     def _parameters(self):
         params = list(self.encoder.parameters())
@@ -59,22 +72,34 @@ class CPC:
             params.extend(predictor.parameters())
         return params
 
-    def _info_nce(self, batch):
-        """InfoNCE loss over one padded batch; returns (loss, num_terms)."""
-        z = self.encoder.trx_encoder(batch)          # (B, T, D)
-        states, _ = self.encoder.rnn(z, mask=batch.mask)  # (B, T, H)
-        mask = batch.mask
+    def _info_nce(self, states, events, mask):
+        """InfoNCE loss from per-step context states and event targets.
+
+        ``states`` is the ``(B, T, H)`` context tensor, ``events`` the
+        ``(B, T, D)`` event representations ``z`` — either live autograd
+        outputs (tensor engine) or leaf tensors over the fused forward's
+        cached arrays.  Returns ``(loss, num_terms)``.
+
+        An anchor ``(b, t)`` for horizon ``k`` counts only when *both*
+        position ``t`` (the context read) and position ``t+k`` (the
+        target) are real events — the two conditions are checked
+        explicitly, so the loss stays correct for any mask shape, not
+        just right-padded prefix masks where ``mask[t+k]`` implies
+        ``mask[t]``.
+        """
         batch_size, steps = mask.shape
         total, terms = None, 0
         for k, predictor in enumerate(self.predictors, start=1):
             if steps <= k:
                 continue
             pred = predictor(states[:, :steps - k, :])   # (B, T-k, D)
-            target = z[:, k:, :]                          # (B, T-k, D)
+            target = events[:, k:, :]                     # (B, T-k, D)
             # (T-k, B, D) x (T-k, D, B) -> per-offset score matrices.
             scores = pred.transpose(0, 1) @ target.transpose(0, 1).transpose(-1, -2)
             target_valid = mask[:, k:]                    # (B, T-k)
-            anchor_valid = mask[:, k:]                    # anchor t valid iff t+k real
+            # Anchor t contributes iff its context t AND target t+k are
+            # real events.
+            anchor_valid = mask[:, :steps - k] & mask[:, k:]
             # Mask out columns whose target is padding.
             col_mask = ~target_valid.T[:, None, :]        # (T-k, 1, B)
             scores = scores.masked_fill(
@@ -95,7 +120,9 @@ class CPC:
     def fit(self, dataset, config=None):
         """Pre-train on all sequences (labels unused)."""
         config = config or PretrainConfig()
-        require_tensor_engine(config, "CPC")
+        engine = resolve_engine(config.engine, self.encoder)
+        self.engine = engine
+        fused_step = FusedTrainStep(self.encoder) if engine == "fused" else None
         rng = np.random.default_rng(config.seed)
         truncated = SequenceDataset(
             [truncate_tail(seq, config.max_seq_length) for seq in dataset],
@@ -108,9 +135,23 @@ class CPC:
             for batch in pretrain_batches(truncated, config, rng):
                 if batch.batch_size < 2:
                     continue
-                loss, _ = self._info_nce(batch)
+                if fused_step is not None:
+                    cache = fused_step.forward(batch)
+                    states = Tensor(cache.states, requires_grad=True)
+                    events = Tensor(cache.events, requires_grad=True)
+                else:
+                    cache = None
+                    events = self.encoder.trx_encoder(batch)      # (B, T, D)
+                    states, _ = self.encoder.rnn(events, mask=batch.mask)
+                loss, _ = self._info_nce(states, events, batch.mask)
                 optimizer.zero_grad()
+                # On the fused engine this graph stops at the two
+                # leaves: the predictors get their gradients here and
+                # the encoder gets them from the fused BPTT below.
                 loss.backward()
+                if fused_step is not None:
+                    fused_step.backward(cache, d_states=leaf_grad(states),
+                                        d_events=leaf_grad(events))
                 if config.clip_norm:
                     clip_grad_norm(self._parameters(), config.clip_norm)
                 optimizer.step()

@@ -22,14 +22,11 @@ import numpy as np
 from ..data.batches import collate
 from ..nn import Adam, Linear, Tensor, clip_grad_norm, concat
 from ..nn import functional as F
-from .pretrain_common import PretrainConfig, random_slice_pair, truncate_tail
+from ..runtime.training import FusedTrainStep, resolve_engine
+from .pretrain_common import (PretrainConfig, leaf_grad, random_slice_pair,
+                              truncate_tail)
 
 __all__ = ["NSP", "SOP"]
-
-
-def _leaf_grad(leaf):
-    """A leaf tensor's accumulated gradient (zeros if it never got one)."""
-    return leaf.grad if leaf.grad is not None else np.zeros_like(leaf.data)
 
 
 class _PairPretrainer:
@@ -41,6 +38,7 @@ class _PairPretrainer:
         rng = np.random.default_rng(seed)
         self.head = Linear(4 * encoder.output_dim, 1, rng=rng)
         self.history = []
+        self.engine = None  # resolved engine of the last fit()
 
     def _pair_features(self, emb_a, emb_b):
         return concat([emb_a, emb_b, emb_a * emb_b, emb_a - emb_b], axis=1)
@@ -55,15 +53,12 @@ class _PairPretrainer:
     def fit(self, dataset, config=None):
         """Pre-train the encoder through the pair objective."""
         config = config or PretrainConfig()
+        engine = resolve_engine(config.engine, self.encoder)
+        self.engine = engine
+        fused_step = FusedTrainStep(self.encoder) if engine == "fused" else None
         rng = np.random.default_rng(config.seed)
         sequences = [truncate_tail(seq, config.max_seq_length) for seq in dataset]
         optimizer = Adam(self._parameters(), lr=config.learning_rate)
-        if config.engine == "fused":
-            from ..runtime.training import FusedTrainStep
-
-            fused_step = FusedTrainStep(self.encoder)
-        else:
-            fused_step = None
         self.encoder.train()
         for epoch in range(config.num_epochs):
             losses = []
@@ -94,8 +89,8 @@ class _PairPretrainer:
                 # the encoder gets them from the fused BPTT below.
                 loss.backward()
                 if fused_step is not None:
-                    fused_step.backward(cache_a, _leaf_grad(emb_a))
-                    fused_step.backward(cache_b, _leaf_grad(emb_b))
+                    fused_step.backward(cache_a, leaf_grad(emb_a))
+                    fused_step.backward(cache_b, leaf_grad(emb_b))
                 if config.clip_norm:
                     clip_grad_norm(self._parameters(), config.clip_norm)
                 optimizer.step()

@@ -4,9 +4,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..data.batches import iterate_batches
 
-__all__ = ["PretrainConfig", "pretrain_batches", "require_tensor_engine",
+__all__ = ["PretrainConfig", "pretrain_batches", "leaf_grad",
            "truncate_tail", "random_slice_pair"]
 
 
@@ -23,34 +25,41 @@ class PretrainConfig:
     verbose: bool = False
     # Shuffle window (in batches) for the length-bucketed batch planner;
     # None disables bucketing.
-    bucket_window: int = None
-    # Encoder execution engine: "tensor" (autograd, works everywhere) or
-    # "fused" (graph-free BPTT via repro.runtime.training).  The fused
-    # engine covers objectives expressed on the final embeddings (NSP and
-    # SOP); CPC and RTD consume per-step states and reject
-    # engine="fused" via require_tensor_engine.
-    engine: str = "tensor"
+    bucket_window: int | None = None
+    # Encoder execution engine: "auto" picks the fused graph-free BPTT
+    # runtime (repro.runtime.training) for recurrent encoders and falls
+    # back to the autograd tensor engine for transformers; "tensor" and
+    # "fused" pin an engine explicitly.  All four baselines (CPC, NSP,
+    # SOP, RTD) run on either engine with gradients equivalent to
+    # < 1e-8.
+    engine: str = "auto"
 
     def __post_init__(self):
-        if self.engine not in ("tensor", "fused"):
+        if self.num_epochs < 1:
+            raise ValueError("num_epochs must be >= 1")
+        if self.batch_size < 2:
+            raise ValueError("batch_size must be >= 2 (negatives needed)")
+        if self.learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if self.engine not in ("auto", "tensor", "fused"):
             raise ValueError(
-                "unknown engine %r (use 'tensor' or 'fused')" % self.engine
+                "unknown engine %r (use 'auto', 'tensor' or 'fused')"
+                % self.engine
             )
 
 
-def require_tensor_engine(config, method):
-    """Fail loudly when a method cannot honour ``engine="fused"``.
+def leaf_grad(leaf):
+    """A leaf tensor's accumulated gradient (zeros if it never got one).
 
-    The fused engine covers objectives expressed on the *final*
-    embeddings; methods whose loss consumes per-step states and event
-    representations (CPC, RTD) must reject the request instead of
-    silently training on the tensor engine.
+    The fused-engine loops wrap fused-forward outputs (embeddings,
+    per-step states, event representations) in leaf tensors, run the
+    objective through autograd, and feed the leaf gradients back into
+    :meth:`~repro.runtime.FusedTrainStep.backward`.  An objective may
+    legitimately never touch a leaf (e.g. a batch too short for any CPC
+    horizon to read a given input) — that is a zero gradient, not an
+    error.
     """
-    if config.engine == "fused":
-        raise ValueError(
-            "%s consumes per-step states, which the fused engine does not "
-            "cover — use PretrainConfig(engine=\"tensor\")" % method
-        )
+    return leaf.grad if leaf.grad is not None else np.zeros_like(leaf.data)
 
 
 def pretrain_batches(dataset, config, rng, drop_last=False):

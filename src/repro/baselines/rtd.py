@@ -5,6 +5,11 @@ other sequences in the batch, and a per-event binary head on the RNN
 states learns to detect the replacements.  The encoder must model what is
 "normal" for the entity — an anomaly-detection flavour the paper notes
 works well for credit scoring.
+
+The detection head reads *per-step* states, so under the fused engine
+the head + BCE run through autograd on a leaf tensor over the fused
+forward's cached states and the leaf gradient feeds back through
+``FusedTrainStep.backward(d_states=...)``.
 """
 
 from __future__ import annotations
@@ -13,10 +18,11 @@ import numpy as np
 
 from ..data.sequences import SequenceDataset
 from ..encoders import RnnSeqEncoder, TrxEncoder
-from ..nn import Adam, Linear, clip_grad_norm
+from ..nn import Adam, Linear, Tensor, clip_grad_norm
 from ..nn import functional as F
-from .pretrain_common import (PretrainConfig, pretrain_batches,
-                              require_tensor_engine, truncate_tail)
+from ..runtime.training import FusedTrainStep, resolve_engine
+from .pretrain_common import (PretrainConfig, leaf_grad, pretrain_batches,
+                              truncate_tail)
 
 __all__ = ["RTD", "corrupt_batch"]
 
@@ -28,6 +34,12 @@ def corrupt_batch(batch, schema, replace_prob, rng):
     fields of the chosen positions are overwritten by a random *valid*
     donor position from a different row.  Returns the corrupted fields and
     the boolean replacement-target matrix.
+
+    Donors are drawn vectorised: one uniform draw over all valid
+    positions per target, with same-row picks redrawn (rejection
+    sampling) — the donor distribution is exactly uniform over the other
+    rows' valid events, as the old per-position loop produced, without
+    the O(replacements x valid_events) Python work.
     """
     if not 0.0 < replace_prob < 1.0:
         raise ValueError("replace_prob must be in (0, 1)")
@@ -41,36 +53,67 @@ def corrupt_batch(batch, schema, replace_prob, rng):
     chosen = rng.random(len(valid_b)) < replace_prob
     target_rows = valid_b[chosen]
     target_cols = valid_t[chosen]
-    replaceable = [name for name in fields if name != schema.time_field]
-    for row, col in zip(target_rows, target_cols):
-        donor_choices = np.flatnonzero(valid_b != row)
-        if len(donor_choices) == 0:
+    # A target is only corruptible when some OTHER row has a valid
+    # event to donate (collated batches always do; hand-built ones may
+    # concentrate every valid event in one row) — without this filter
+    # the redraw loop below could never terminate.
+    row_valid = mask.sum(axis=1)
+    has_donor = row_valid[target_rows] < len(valid_b)
+    target_rows = target_rows[has_donor]
+    target_cols = target_cols[has_donor]
+    if len(target_rows) == 0:
+        return fields, replaced
+    picks = rng.integers(0, len(valid_b), size=len(target_rows))
+    same_row = np.flatnonzero(valid_b[picks] == target_rows)
+    while len(same_row):
+        picks[same_row] = rng.integers(0, len(valid_b), size=len(same_row))
+        same_row = same_row[valid_b[picks[same_row]] == target_rows[same_row]]
+    donor_rows, donor_cols = valid_b[picks], valid_t[picks]
+    for name in fields:
+        if name == schema.time_field:
             continue
-        pick = donor_choices[rng.integers(0, len(donor_choices))]
-        donor_row, donor_col = valid_b[pick], valid_t[pick]
-        for name in replaceable:
-            fields[name][row, col] = batch.fields[name][donor_row, donor_col]
-        replaced[row, col] = True
+        fields[name][target_rows, target_cols] = \
+            batch.fields[name][donor_rows, donor_cols]
+    replaced[target_rows, target_cols] = True
     return fields, replaced
 
 
 class RTD:
-    """RTD pre-training for event sequences."""
+    """RTD pre-training for event sequences.
 
-    def __init__(self, schema, hidden_size=64, replace_prob=0.15, seed=0):
+    ``cell`` selects the recurrent encoder (``"gru"``, the paper
+    default, or ``"lstm"``).
+    """
+
+    def __init__(self, schema, hidden_size=64, replace_prob=0.15, cell="gru",
+                 seed=0):
         rng = np.random.default_rng(seed)
         trx = TrxEncoder(schema, rng=rng)
-        self.encoder = RnnSeqEncoder(trx, hidden_size, cell="gru",
+        self.encoder = RnnSeqEncoder(trx, hidden_size, cell=cell,
                                      normalize=False, rng=rng)
         self.schema = schema
         self.replace_prob = replace_prob
         self.head = Linear(hidden_size, 1, rng=rng)
         self.history = []
+        self.engine = None  # resolved engine of the last fit()
 
     def _parameters(self):
         return list(self.encoder.parameters()) + list(self.head.parameters())
 
-    def _step_loss(self, batch, rng):
+    def _detection_loss(self, states, replaced, mask):
+        """Per-event BCE of the detection head over valid positions.
+
+        ``states`` is the ``(B, T, H)`` state tensor — a live autograd
+        output (tensor engine) or a leaf over the fused cache.
+        """
+        logits = self.head(states).reshape(states.shape[0], states.shape[1])
+        rows, cols = np.nonzero(mask)
+        picked_logits = logits[rows, cols]
+        targets = replaced[rows, cols].astype(np.float64)
+        return F.binary_cross_entropy_with_logits(picked_logits, targets)
+
+    def _corrupted(self, batch, rng):
+        """The corrupted twin of ``batch`` plus its replacement targets."""
         corrupted_fields, replaced = corrupt_batch(
             batch, self.schema, self.replace_prob, rng
         )
@@ -81,18 +124,14 @@ class RTD:
             labels=batch.labels,
             schema=batch.schema,
         )
-        states, _ = self.encoder(corrupted)
-        logits = self.head(states).reshape(states.shape[0], states.shape[1])
-        mask = batch.mask
-        rows, cols = np.nonzero(mask)
-        picked_logits = logits[rows, cols]
-        targets = replaced[rows, cols].astype(np.float64)
-        return F.binary_cross_entropy_with_logits(picked_logits, targets)
+        return corrupted, replaced
 
     def fit(self, dataset, config=None):
-        """Pre-train on all sequences; requires the tensor engine."""
+        """Pre-train on all sequences (labels unused)."""
         config = config or PretrainConfig()
-        require_tensor_engine(config, "RTD")
+        engine = resolve_engine(config.engine, self.encoder)
+        self.engine = engine
+        fused_step = FusedTrainStep(self.encoder) if engine == "fused" else None
         rng = np.random.default_rng(config.seed)
         truncated = SequenceDataset(
             [truncate_tail(seq, config.max_seq_length) for seq in dataset],
@@ -105,9 +144,21 @@ class RTD:
             for batch in pretrain_batches(truncated, config, rng):
                 if batch.batch_size < 2:
                     continue
-                loss = self._step_loss(batch, rng)
+                corrupted, replaced = self._corrupted(batch, rng)
+                if fused_step is not None:
+                    cache = fused_step.forward(corrupted)
+                    states = Tensor(cache.states, requires_grad=True)
+                else:
+                    cache = None
+                    states, _ = self.encoder(corrupted)
+                loss = self._detection_loss(states, replaced, batch.mask)
                 optimizer.zero_grad()
+                # On the fused engine this graph stops at the states
+                # leaf: the head gets its gradients here and the encoder
+                # gets them from the fused BPTT below.
                 loss.backward()
+                if fused_step is not None:
+                    fused_step.backward(cache, d_states=leaf_grad(states))
                 if config.clip_norm:
                     clip_grad_norm(self._parameters(), config.clip_norm)
                 optimizer.step()

@@ -78,13 +78,14 @@ class CoLES:
 
     # ------------------------------------------------------------------
     def fit(self, dataset, num_epochs=10, batch_size=16, learning_rate=0.002,
-            verbose=False, engine="tensor"):
+            verbose=False, engine="auto"):
         """Phase 1: self-supervised training on (possibly unlabeled) data.
 
-        ``engine="fused"`` trains recurrent encoders through the
-        graph-free BPTT runtime (:mod:`repro.runtime.training`) —
-        gradient-equivalent to the default autograd engine and several
-        times faster.
+        The default ``engine="auto"`` trains recurrent encoders through
+        the graph-free BPTT runtime (:mod:`repro.runtime.training`) —
+        gradient-equivalent to the autograd engine to < 1e-8 and several
+        times faster — and transformers through the autograd tensor
+        engine.  Pass ``engine="tensor"`` or ``"fused"`` to pin one.
         """
         config = TrainConfig(
             num_epochs=num_epochs,

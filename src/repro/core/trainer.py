@@ -26,12 +26,14 @@ class TrainConfig:
     verbose: bool = False
     # Length-bucketing shuffle window (in batches) for the batch planner;
     # None keeps the fully random order.
-    bucket_window: int = None
+    bucket_window: int | None = None
     # Execution engine for the encoder's forward+backward:
+    # "auto"   — fused for recurrent encoders, tensor for transformers
+    #            (resolved per encoder by repro.runtime.resolve_engine);
     # "tensor" — the autograd Tensor graph (works for every encoder);
     # "fused"  — graph-free numpy BPTT (repro.runtime.training), gradient-
     # equivalent to < 1e-8 and several times faster for GRU/LSTM encoders.
-    engine: str = "tensor"
+    engine: str = "auto"
 
     def __post_init__(self):
         if self.num_epochs < 1:
@@ -40,9 +42,10 @@ class TrainConfig:
             raise ValueError("batch_size must be >= 2 (negatives needed)")
         if self.learning_rate <= 0:
             raise ValueError("learning_rate must be positive")
-        if self.engine not in ("tensor", "fused"):
+        if self.engine not in ("auto", "tensor", "fused"):
             raise ValueError(
-                "unknown engine %r (use 'tensor' or 'fused')" % self.engine
+                "unknown engine %r (use 'auto', 'tensor' or 'fused')"
+                % self.engine
             )
 
 
@@ -72,14 +75,17 @@ class ContrastiveTrainer:
     """
 
     def __init__(self, encoder, loss_fn, strategy, config=None):
+        from ..runtime.training import FusedTrainStep, resolve_engine
+
         self.encoder = encoder
         self.loss_fn = loss_fn
         self.strategy = strategy
         self.config = config or TrainConfig()
         self.history = []
-        if self.config.engine == "fused":
-            from ..runtime.training import FusedTrainStep
-
+        # "auto" resolves per encoder: fused for GRU/LSTM, tensor for
+        # transformers.  The resolved engine is kept for introspection.
+        self.engine = resolve_engine(self.config.engine, encoder)
+        if self.engine == "fused":
             self._fused_step = FusedTrainStep(encoder)
         else:
             self._fused_step = None

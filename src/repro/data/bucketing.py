@@ -95,6 +95,8 @@ def padded_step_fraction(lengths, batches):
     real = 0
     for chunk in batches:
         chunk_lengths = lengths[chunk]
+        if len(chunk_lengths) == 0:
+            continue  # an empty chunk pads nothing
         total += int(chunk_lengths.max()) * len(chunk)
         real += int(chunk_lengths.sum())
     return 0.0 if total == 0 else 1.0 - real / total

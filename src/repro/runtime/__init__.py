@@ -4,12 +4,16 @@ The execution-path split of the codebase:
 
 - **autograd** (:mod:`repro.nn`) — the differentiable Tensor substrate,
   one graph node per op; still used by the losses (small graphs over
-  ``(B, H)`` embeddings) and by objectives the fused engine does not
-  cover (transformers, CPC/RTD);
+  embeddings, per-step states or event representations wrapped as leaf
+  tensors) and by encoders the fused engine does not cover
+  (transformers);
 - **fused training** (:mod:`~repro.runtime.training`) — a
   :class:`FusedTrainStep` runs the encoder forward and hand-derived BPTT
-  (:func:`~repro.runtime.kernels.rnn_backward`) as raw numpy, selected
-  via ``TrainConfig(engine="fused")``;
+  (:func:`~repro.runtime.kernels.rnn_backward`) as raw numpy — the
+  default engine for recurrent encoders (``engine="auto"`` resolves via
+  :func:`resolve_engine`), covering both final-embedding objectives
+  (CoLES losses, NSP/SOP) and per-step objectives (CPC, RTD) through
+  the ``d_states``/``d_events`` gradient interface;
 - **serving** — the same forward kernels driven by a
   :class:`FusedEncoderRuntime`, with per-entity state owned by an
   :class:`EmbeddingStore`.
@@ -23,8 +27,9 @@ equivalence to the Tensor path is < 1e-10 and gradient equivalence
 from . import kernels
 from .engine import FusedEncoderRuntime
 from .store import EmbeddingStore, advance_entities, bulk_load_states
-from .training import FusedForwardCache, FusedTrainStep, loss_gradient
+from .training import (FusedForwardCache, FusedTrainStep, loss_gradient,
+                       resolve_engine)
 
 __all__ = ["kernels", "FusedEncoderRuntime", "EmbeddingStore",
            "advance_entities", "bulk_load_states", "FusedTrainStep",
-           "FusedForwardCache", "loss_gradient"]
+           "FusedForwardCache", "loss_gradient", "resolve_engine"]

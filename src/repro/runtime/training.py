@@ -12,13 +12,21 @@ backpropagates a loss gradient through hand-derived BPTT
 graph is ever built for the encoder.
 
 The split of labour is the **loss-gradient interface**: the encoder side
-(the ``(B, T)`` hot path) is fused, while the loss itself — a function of
-the small ``(B, H)`` embedding matrix — still runs through autograd via
-:func:`loss_gradient`.  Any objective expressible on the final embeddings
-(every metric-learning loss in :mod:`repro.losses`, the NSP/SOP pair
-heads) therefore works with the fused engine unchanged; objectives that
-consume *per-step* states and event representations (CPC, RTD) stay on
-the Tensor engine.
+(the ``(B, T)`` hot path) is fused, while the loss itself still runs
+through autograd on leaf tensors.  Two families of objectives fit the
+interface:
+
+- **final-embedding** objectives — a function of the small ``(B, H)``
+  embedding matrix (every metric-learning loss in :mod:`repro.losses`,
+  the NSP/SOP pair heads) — driven via :func:`loss_gradient` and
+  :meth:`FusedTrainStep.backward`'s ``d_embeddings``;
+- **per-step** objectives — functions of the cached per-step hidden
+  states and (for CPC) the trx-encoder event representations — driven by
+  wrapping :attr:`FusedForwardCache.states` / ``.events`` in leaf
+  tensors and feeding the leaf gradients back through ``d_states`` /
+  ``d_events``, which route into
+  :func:`repro.runtime.kernels.rnn_backward`'s per-step ``d_outputs``
+  interface and the embedding scatter path.
 
 Equivalence contract: gradients match the autograd path to < 1e-8 and
 batch-norm running statistics update identically, so
@@ -40,7 +48,24 @@ from ..encoders.seq_encoder import RnnSeqEncoder
 from ..nn.tensor import Tensor
 from . import kernels
 
-__all__ = ["FusedTrainStep", "FusedForwardCache", "loss_gradient"]
+__all__ = ["FusedTrainStep", "FusedForwardCache", "loss_gradient",
+           "resolve_engine"]
+
+
+def resolve_engine(engine, encoder):
+    """Resolve the ``"auto"`` engine default for a concrete encoder.
+
+    Recurrent encoders (:class:`~repro.encoders.RnnSeqEncoder`) default
+    to the fused engine — gradient-equivalent to autograd and several
+    times faster; every other encoder (transformers) falls back to the
+    Tensor engine, which fused BPTT does not cover.  Explicit
+    ``"tensor"``/``"fused"`` requests pass through unchanged, so pinning
+    an engine still works (and pinning ``"fused"`` on a transformer
+    still fails loudly in :class:`FusedTrainStep`).
+    """
+    if engine == "auto":
+        return "fused" if isinstance(encoder, RnnSeqEncoder) else "tensor"
+    return engine
 
 
 def loss_gradient(loss_fn, embeddings, groups, rng=None):
@@ -69,8 +94,9 @@ def loss_gradient(loss_fn, embeddings, groups, rng=None):
 class FusedForwardCache:
     """Everything one fused training forward retains for its backward.
 
-    ``embeddings`` (the post-head ``(B, H)`` matrix, batch order) is the
-    only field callers should read; the rest is consumed by
+    ``embeddings`` (the post-head ``(B, H)`` matrix, batch order) plus
+    the :attr:`states` / :attr:`events` views are the only things
+    callers should read; the rest is consumed by
     :meth:`FusedTrainStep.backward` exactly once.
     """
 
@@ -81,6 +107,27 @@ class FusedForwardCache:
     hidden: np.ndarray       # (B, H) final states, batch order, pre-head
     embeddings: np.ndarray   # (B, H) post-head embeddings, batch order
     bn_scaled: np.ndarray    # (B, T, F) normalised numericals (or None)
+
+    @property
+    def states(self):
+        """Per-step hidden states ``(B, T, H)`` in batch order.
+
+        Identical to the Tensor path's ``rnn(x, mask=...)`` outputs:
+        states at padded steps hold the frozen value of the last real
+        step.  Per-step objectives (CPC, RTD) wrap this in a leaf tensor
+        and feed the leaf gradient back as ``d_states``.
+        """
+        return self.rnn_cache.hidden_seq[self.inverse]
+
+    @property
+    def events(self):
+        """Trx-encoder event representations ``(B, T, D)``, batch order.
+
+        The same array the recurrence consumed (training-mode batch
+        norm included).  CPC scores its predictions against these;
+        gradients taken wrt them feed back as ``d_events``.
+        """
+        return self.rnn_cache.x[self.inverse]
 
 
 class FusedTrainStep:
@@ -155,26 +202,45 @@ class FusedTrainStep:
     # ------------------------------------------------------------------
     # backward
     # ------------------------------------------------------------------
-    def backward(self, cache, d_embeddings):
-        """Accumulate encoder gradients from a loss gradient.
+    def backward(self, cache, d_embeddings=None, d_states=None,
+                 d_events=None):
+        """Accumulate encoder gradients from an objective's gradients.
 
         ``d_embeddings`` is dLoss/dEmbeddings, ``(B, H)`` in batch order
-        (what :func:`loss_gradient` returns).  Gradients accumulate into
-        ``param.grad`` of the live encoder parameters — additive, like
-        ``Tensor.backward`` — so clipping and the optimisers work
-        unchanged.  A cache must not be used twice.
+        (what :func:`loss_gradient` returns).  Per-step objectives pass
+        ``d_states`` — dLoss/dStates ``(B, T, H)`` over the cached
+        per-step hidden states (routed through the kernels' ``d_outputs``
+        BPTT interface) — and/or ``d_events`` — dLoss/dEvents
+        ``(B, T, D)`` over the event representations the objective read
+        directly (CPC's targets), added to the recurrence's input
+        gradient before the embedding/batch-norm scatter.  All three are
+        optional and additive, in batch order.
+
+        Gradients accumulate into ``param.grad`` of the live encoder
+        parameters — additive, like ``Tensor.backward`` — so clipping
+        and the optimisers work unchanged.  A cache must not be used
+        twice.
         """
-        d_hidden = np.asarray(d_embeddings, dtype=np.float64)
-        if self.encoder.normalize:
-            d_hidden = kernels.l2_normalize_rows_backward(cache.hidden,
-                                                          d_hidden)
+        if d_embeddings is None:
+            d_hidden = np.zeros_like(cache.hidden)
+        else:
+            d_hidden = np.asarray(d_embeddings, dtype=np.float64)
+            if self.encoder.normalize:
+                d_hidden = kernels.l2_normalize_rows_backward(cache.hidden,
+                                                              d_hidden)
+        d_outputs = None
+        if d_states is not None:
+            d_outputs = np.asarray(d_states, dtype=np.float64)[cache.perm]
         weights = self.encoder.rnn.export_weights()
         grads = kernels.rnn_backward(weights, cache.rnn_cache,
-                                     d_hidden[cache.perm])
+                                     d_hidden[cache.perm],
+                                     d_outputs=d_outputs)
         for name, param in self.encoder.rnn.cell_parameters().items():
             _accumulate(param, grads.get(name))
-        self._encode_events_backward(cache.batch, grads["d_x"][cache.inverse],
-                                     cache.bn_scaled)
+        d_x = grads["d_x"][cache.inverse]
+        if d_events is not None:
+            d_x = d_x + np.asarray(d_events, dtype=np.float64)
+        self._encode_events_backward(cache.batch, d_x, cache.bn_scaled)
 
     def _encode_events_backward(self, batch, d_x, bn_scaled):
         """Route ``dLoss/dx`` into the embedding tables and batch norm.

@@ -58,10 +58,81 @@ class TestHelpers:
         assert random_slice_pair(seq.slice(0, 5), np.random.default_rng(0)) is None
 
 
+class TestPretrainConfig:
+    def test_engine_validated(self):
+        with pytest.raises(ValueError):
+            PretrainConfig(engine="cuda")
+
+    def test_numeric_fields_validated(self):
+        """PretrainConfig rejects the same degenerate values TrainConfig does."""
+        with pytest.raises(ValueError):
+            PretrainConfig(num_epochs=0)
+        with pytest.raises(ValueError):
+            PretrainConfig(batch_size=1)
+        with pytest.raises(ValueError):
+            PretrainConfig(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            PretrainConfig(learning_rate=-1.0)
+
+    def test_bucket_window_accepts_none_and_int(self):
+        assert PretrainConfig().bucket_window is None
+        assert PretrainConfig(bucket_window=4).bucket_window == 4
+
+
 class TestCPC:
     def test_validation(self, dataset):
         with pytest.raises(ValueError):
             CPC(dataset.schema, num_horizons=0)
+
+    def test_info_nce_handles_non_prefix_masks(self, dataset):
+        """Anchor validity must require BOTH the context and the target.
+
+        A mask with interior holes (not a right-padded prefix) breaks
+        the old `anchor_valid = mask[:, k:]` shortcut: position t could
+        be padding while t+k is real.  The loss must count exactly the
+        anchors where both ends are real events, matching a
+        loop-written reference.
+        """
+        from repro.nn import Tensor
+
+        cpc = CPC(dataset.schema, hidden_size=6, num_horizons=2, seed=0)
+        rng = np.random.default_rng(3)
+        batch_size, steps, hidden = 4, 7, 6
+        dim = cpc.encoder.trx_encoder.output_dim
+        states = rng.standard_normal((batch_size, steps, hidden))
+        events = rng.standard_normal((batch_size, steps, dim))
+        mask = np.ones((batch_size, steps), dtype=bool)
+        # Interior holes: row 0 misses t=2 (but t=2+k are real), row 1
+        # misses t=0 and t=4, row 3 is a plain short prefix.
+        mask[0, 2] = False
+        mask[1, [0, 4]] = False
+        mask[3, 4:] = False
+        assert np.any(~mask[:, :-1] & mask[:, 1:])  # holes, not a prefix
+
+        loss, terms = cpc._info_nce(Tensor(states), Tensor(events), mask)
+
+        # Loop-written reference over valid (b, t, k) anchors.
+        total, expected_terms = 0.0, 0
+        for k, predictor in enumerate(cpc.predictors, start=1):
+            weight, bias = predictor.weight.data, predictor.bias.data
+            for t in range(steps - k):
+                for b in range(batch_size):
+                    if not (mask[b, t] and mask[b, t + k]):
+                        continue
+                    scores = (states[b, t] @ weight.T + bias) @ events[:, t + k].T
+                    scores = np.where(mask[:, t + k], scores, -1e9)
+                    logp = scores - np.log(np.exp(scores - scores.max()).sum()) \
+                        - scores.max()
+                    total += -logp[b]
+                    expected_terms += 1
+        assert terms == expected_terms
+        assert loss.item() == pytest.approx(total / expected_terms, abs=1e-10)
+
+        # The old shortcut counted anchors whose context was padding.
+        buggy_terms = sum(
+            int(mask[:, k:].sum()) for k in (1, 2)
+        )
+        assert expected_terms < buggy_terms
 
     def test_fit_loss_decreases(self, dataset):
         cpc = CPC(dataset.schema, hidden_size=12, num_horizons=2, seed=0)
@@ -165,6 +236,58 @@ class TestRTD:
         # Donor events usually differ in at least one field.
         assert changed > 0.5 * len(rows)
 
+    def test_corrupt_batch_distributions_unchanged(self, dataset):
+        """The vectorized donor draw keeps the corruption distributions.
+
+        Contract of the old per-position loop: each valid position is
+        chosen independently with ``replace_prob``; each chosen position
+        takes its donor uniformly from the *other* rows' valid events;
+        times are never touched.  Checked over many trials.
+        """
+        batch = collate(dataset.sequences[:6], dataset.schema)
+        mask = batch.mask
+        # Valid event tuples per row (time excluded — donors keep the
+        # target's time), to verify every replacement is a real donor
+        # event from a different row.
+        donor_fields = ("mcc", "trx_type", "amount")
+        row_events = []
+        for row in range(batch.batch_size):
+            cols = np.flatnonzero(mask[row])
+            row_events.append({
+                tuple(batch.fields[name][row, col] for name in donor_fields)
+                for col in cols
+            })
+
+        fractions, donor_matches = [], 0
+        replaced_total = 0
+        counts = np.zeros(mask.shape)
+        for trial in range(200):
+            rng = np.random.default_rng(1000 + trial)
+            fields, replaced = corrupt_batch(batch, dataset.schema, 0.3, rng)
+            np.testing.assert_array_equal(fields["event_time"],
+                                          batch.fields["event_time"])
+            assert not replaced[~mask].any()
+            fractions.append(replaced[mask].mean())
+            counts += replaced
+            for r, c in zip(*np.nonzero(replaced)):
+                replaced_total += 1
+                event = tuple(fields[name][r, c] for name in donor_fields)
+                other_rows = [row for row in range(batch.batch_size)
+                              if row != r and event in row_events[row]]
+                if other_rows:
+                    donor_matches += 1
+        # Bernoulli(0.3) per valid position: the mean replacement
+        # fraction over 200 trials concentrates tightly around 0.3.
+        assert abs(np.mean(fractions) - 0.3) < 0.02
+        # Every position is eligible: each valid slot got replaced in
+        # some trial, and padding never did.
+        assert (counts[mask] > 0).all()
+        assert (counts[~mask] == 0).all()
+        # Donors are (other-row) valid events.  A donor event could
+        # coincidentally equal one of the target row's events, so allow
+        # a sliver of ambiguity, not a systematic miss.
+        assert donor_matches > 0.99 * replaced_total
+
     def test_replace_prob_validated(self, dataset):
         batch = collate(dataset.sequences[:2], dataset.schema)
         with pytest.raises(ValueError):
@@ -175,6 +298,28 @@ class TestRTD:
         _, replaced = corrupt_batch(batch, dataset.schema, 0.5,
                                     np.random.default_rng(0))
         assert not replaced.any()
+
+    def test_no_cross_row_donors_leaves_batch_uncorrupted(self, dataset):
+        """A hand-built batch whose valid events all sit in one row.
+
+        ``collate`` cannot produce this (it rejects empty sequences),
+        but the public ``corrupt_batch`` API can receive it; positions
+        without a cross-row donor must be skipped, not spun on forever
+        by the redraw loop.
+        """
+        source = collate(dataset.sequences[:2], dataset.schema)
+        batch = type(source)(
+            fields=source.fields,
+            lengths=np.array([0, source.lengths[1]]),
+            seq_ids=source.seq_ids,
+            labels=source.labels,
+            schema=source.schema,
+        )
+        fields, replaced = corrupt_batch(batch, dataset.schema, 0.5,
+                                         np.random.default_rng(0))
+        assert not replaced.any()
+        for name in fields:
+            np.testing.assert_array_equal(fields[name], batch.fields[name])
 
     def test_fit_loss_decreases(self, dataset):
         rtd = RTD(dataset.schema, hidden_size=12, seed=0)

@@ -1,13 +1,18 @@
 """Engine selection in the training loops: fused vs tensor.
 
 ``TrainConfig(engine=...)`` (and ``PretrainConfig(engine=...)`` for the
-pair baselines) switches the encoder's forward+backward between the
-autograd graph and the fused BPTT runtime.  The contract tested here:
+baselines) switches the encoder's forward+backward between the autograd
+graph and the fused BPTT runtime; the default ``"auto"`` resolves to
+fused for recurrent encoders and tensor for transformers.  The contract
+tested here:
 
 - after 0 steps the engines are indistinguishable — byte-identical
   checkpoints (selecting an engine must not touch the weights);
 - after N real optimisation steps on synthetic data the trained weights
-  agree to < 1e-8 (same gradients -> same Adam trajectory);
+  agree to < 1e-8 (same gradients -> same Adam trajectory) — for the
+  final-embedding objectives (CoLES, NSP/SOP) *and* the per-step ones
+  (CPC, RTD);
+- "auto" picks fused for GRU/LSTM and tensor for transformers;
 - invalid engines and unsupported encoders fail loudly.
 """
 
@@ -15,12 +20,14 @@ import numpy as np
 import pytest
 
 from repro.augmentations import RandomSlices
-from repro.baselines import NSP, SOP
+from repro.baselines import CPC, NSP, RTD, SOP
 from repro.baselines.pretrain_common import PretrainConfig
 from repro.core import ContrastiveTrainer, TrainConfig
+from repro.data.sequences import SequenceDataset
 from repro.data.synthetic import make_churn_dataset
 from repro.encoders import build_encoder
 from repro.losses import ContrastiveLoss
+from repro.runtime import resolve_engine
 
 
 def _dataset(seed=0):
@@ -96,15 +103,123 @@ def test_unknown_engine_rejected():
         PretrainConfig(engine="cuda")
 
 
-def test_per_step_baselines_reject_fused_engine():
-    """CPC/RTD cannot honour engine="fused" and must say so, not no-op."""
-    from repro.baselines import CPC, RTD
+def _per_step_task(task_cls, schema, cell, seed=1):
+    if task_cls is CPC:
+        return CPC(schema, hidden_size=10, num_horizons=2, cell=cell,
+                   seed=seed)
+    return RTD(schema, hidden_size=10, cell=cell, seed=seed)
 
+
+@pytest.mark.parametrize("task_cls", [CPC, RTD])
+def test_per_step_baselines_byte_identical_after_zero_steps(task_cls):
+    """Selecting an engine must not touch CPC/RTD weights before step 1.
+
+    Fitting on an empty dataset runs the full engine setup (including
+    the fused-step construction) but performs zero optimisation steps.
+    """
     dataset = _dataset()
-    for task in (CPC(dataset.schema, hidden_size=8, seed=0),
-                 RTD(dataset.schema, hidden_size=8, seed=0)):
-        with pytest.raises(ValueError, match="fused"):
-            task.fit(dataset, PretrainConfig(num_epochs=1, engine="fused"))
+    empty = SequenceDataset([], dataset.schema)
+    states = []
+    for engine in ("tensor", "fused"):
+        task = _per_step_task(task_cls, dataset.schema, "gru")
+        task.fit(empty, PretrainConfig(num_epochs=1, engine=engine))
+        states.append(task.encoder.state_dict())
+    tensor_state, fused_state = states
+    assert tensor_state.keys() == fused_state.keys()
+    for name, value in tensor_state.items():
+        assert value.tobytes() == fused_state[name].tobytes(), name
+
+
+@pytest.mark.parametrize("task_cls", [CPC, RTD])
+@pytest.mark.parametrize("cell", ["gru", "lstm"])
+def test_per_step_baselines_engines_equivalent(task_cls, cell):
+    """CPC/RTD under engine="fused" track the tensor engine to < 1e-8.
+
+    The per-step objectives run their loss on leaf tensors over the
+    fused per-step states (and, for CPC, event representations); the
+    same gradients must reach every parameter, so N optimisation steps
+    land on the same weights on either engine.
+    """
+    dataset = _dataset(seed=8)
+
+    def fit(engine):
+        task = _per_step_task(task_cls, dataset.schema, cell)
+        task.fit(dataset, PretrainConfig(num_epochs=2, batch_size=6,
+                                         learning_rate=0.01, seed=5,
+                                         engine=engine))
+        return task
+
+    tensor_task = fit("tensor")
+    fused_task = fit("fused")
+    assert tensor_task.engine == "tensor"
+    assert fused_task.engine == "fused"
+    np.testing.assert_allclose(fused_task.history, tensor_task.history,
+                               atol=1e-8)
+    fused_state = fused_task.encoder.state_dict()
+    for name, value in tensor_task.encoder.state_dict().items():
+        np.testing.assert_allclose(fused_state[name], value, atol=1e-8,
+                                   rtol=1e-8, err_msg=name)
+
+
+def test_auto_engine_resolution():
+    """"auto" -> fused for recurrent encoders, tensor for transformers."""
+    dataset = _dataset()
+    rnn = build_encoder(dataset.schema, 8, "gru",
+                        rng=np.random.default_rng(0))
+    transformer = build_encoder(dataset.schema, 8, "transformer",
+                                rng=np.random.default_rng(0))
+    assert resolve_engine("auto", rnn) == "fused"
+    assert resolve_engine("auto", transformer) == "tensor"
+    # Explicit pins pass through for any encoder.
+    assert resolve_engine("tensor", rnn) == "tensor"
+    assert resolve_engine("fused", transformer) == "fused"
+
+
+def test_trainer_defaults_to_fused_for_recurrent_encoders():
+    """TrainConfig() now runs GRU/LSTM through the fused engine..."""
+    dataset = _dataset()
+    encoder = build_encoder(dataset.schema, 8, "gru",
+                            rng=np.random.default_rng(0))
+    trainer = ContrastiveTrainer(encoder, ContrastiveLoss(),
+                                 RandomSlices(5, 20, 3))
+    assert trainer.config.engine == "auto"
+    assert trainer.engine == "fused"
+    assert trainer._fused_step is not None
+
+
+def test_trainer_defaults_to_tensor_for_transformers():
+    """...and transformers fall back to the tensor engine silently."""
+    dataset = _dataset()
+    encoder = build_encoder(dataset.schema, 8, "transformer",
+                            rng=np.random.default_rng(0))
+    trainer = ContrastiveTrainer(encoder, ContrastiveLoss(),
+                                 RandomSlices(5, 20, 3))
+    assert trainer.engine == "tensor"
+    assert trainer._fused_step is None
+
+
+@pytest.mark.parametrize("task_cls", [CPC, RTD, NSP, SOP])
+def test_baselines_default_to_fused_for_recurrent_encoders(task_cls):
+    """PretrainConfig() resolves to fused for all four RNN baselines."""
+    dataset = _dataset()
+    if task_cls in (CPC, RTD):
+        task = _per_step_task(task_cls, dataset.schema, "gru")
+    else:
+        encoder = build_encoder(dataset.schema, 8, "gru",
+                                rng=np.random.default_rng(0))
+        task = task_cls(encoder, dataset.schema, seed=0)
+    task.fit(dataset, PretrainConfig(num_epochs=1, batch_size=6))
+    assert task.engine == "fused"
+
+
+def test_pair_baseline_defaults_to_tensor_for_transformers():
+    """NSP over a transformer resolves "auto" to the tensor engine."""
+    dataset = _dataset()
+    encoder = build_encoder(dataset.schema, 8, "transformer",
+                            rng=np.random.default_rng(0))
+    task = NSP(encoder, dataset.schema, seed=0)
+    task.fit(dataset, PretrainConfig(num_epochs=1, batch_size=6))
+    assert task.engine == "tensor"
 
 
 def test_fused_engine_rejects_transformer():

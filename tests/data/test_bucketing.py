@@ -77,6 +77,18 @@ class TestPlan:
         assert waste_bucketed < waste_naive
         assert waste_global <= waste_bucketed
 
+    def test_padded_step_fraction_ignores_empty_chunks(self, skewed_lengths):
+        """An empty chunk pads nothing: same answer as without it."""
+        plan = [np.array([0, 1]), np.array([2, 3])]
+        with_empty = plan[:1] + [np.array([], dtype=int)] + plan[1:]
+        reference = padded_step_fraction(skewed_lengths, plan)
+        assert padded_step_fraction(skewed_lengths, with_empty) == reference
+
+    def test_padded_step_fraction_all_empty(self):
+        """A plan of only empty chunks is zero waste, not a crash."""
+        assert padded_step_fraction([], [np.array([], dtype=int)]) == 0.0
+        assert padded_step_fraction([5, 3], []) == 0.0
+
 
 class TestIterators:
     @pytest.fixture(scope="class")

@@ -162,6 +162,92 @@ def test_encoder_gradients_match_tensor_engine(cell, loss_name):
                                       err_msg=name)
 
 
+@pytest.mark.parametrize("cell", ["gru", "lstm"])
+def test_per_step_gradients_match_tensor_engine(cell):
+    """Fused ``d_states``/``d_events`` routing == full autograd.
+
+    The per-step interface behind the CPC/RTD fused paths: random
+    gradients are injected into every per-step hidden state, every event
+    representation *and* the final embeddings at once, and every
+    parameter gradient (embedding tables, batch norm, cell weights,
+    learnt initial states) must match the Tensor graph to < 1e-8.
+    """
+    dataset, batch = _coles_batch(seed=6)
+    reference = build_encoder(dataset.schema, 14, cell,
+                              rng=np.random.default_rng(3))
+    fused = build_encoder(dataset.schema, 14, cell,
+                          rng=np.random.default_rng(3))
+    reference.train()
+    fused.train()
+    rng = np.random.default_rng(13)
+
+    step = FusedTrainStep(fused)
+    cache = step.forward(batch)
+    d_states = rng.standard_normal(cache.states.shape)
+    d_events = rng.standard_normal(cache.events.shape)
+    d_embeddings = rng.standard_normal(cache.embeddings.shape)
+
+    # Autograd reference: the same three gradient injections as one
+    # scalar objective over the live graph.
+    events = reference.trx_encoder(batch)
+    states, last = reference.rnn(events, mask=batch.mask)
+    embedding = reference._head(last)
+    objective = ((states * Tensor(d_states)).sum()
+                 + (events * Tensor(d_events)).sum()
+                 + (embedding * Tensor(d_embeddings)).sum())
+    reference.zero_grad()
+    objective.backward()
+
+    # The fused per-step views must equal the autograd tensors.
+    np.testing.assert_allclose(cache.states, states.data, atol=1e-10)
+    np.testing.assert_allclose(cache.events, events.data, atol=1e-10)
+
+    fused.zero_grad()
+    step.backward(cache, d_embeddings=d_embeddings, d_states=d_states,
+                  d_events=d_events)
+    fused_params = dict(fused.named_parameters())
+    for name, param in reference.named_parameters():
+        np.testing.assert_allclose(fused_params[name].grad, param.grad,
+                                   atol=ATOL, rtol=RTOL, err_msg=name)
+
+
+@pytest.mark.parametrize("cell", ["gru", "lstm"])
+def test_per_step_only_backward_needs_no_embedding_gradient(cell):
+    """``backward(cache, d_states=...)`` alone (RTD's shape) is valid.
+
+    With no ``d_embeddings``, the final state receives gradient only
+    through its own per-step slot — matching an autograd objective that
+    never touches the embedding head.
+    """
+    dataset, batch = _coles_batch(seed=12)
+    reference = build_encoder(dataset.schema, 10, cell,
+                              rng=np.random.default_rng(4))
+    fused = build_encoder(dataset.schema, 10, cell,
+                          rng=np.random.default_rng(4))
+    reference.train()
+    fused.train()
+    rng = np.random.default_rng(21)
+
+    step = FusedTrainStep(fused)
+    cache = step.forward(batch)
+    d_states = rng.standard_normal(cache.states.shape)
+
+    events = reference.trx_encoder(batch)
+    states, _ = reference.rnn(events, mask=batch.mask)
+    reference.zero_grad()
+    (states * Tensor(d_states)).sum().backward()
+
+    fused.zero_grad()
+    step.backward(cache, d_states=d_states)
+    fused_params = dict(fused.named_parameters())
+    for name, param in reference.named_parameters():
+        if param.grad is None:
+            assert fused_params[name].grad is None, name
+            continue
+        np.testing.assert_allclose(fused_params[name].grad, param.grad,
+                                   atol=ATOL, rtol=RTOL, err_msg=name)
+
+
 def test_eval_mode_uses_running_statistics():
     """In eval mode the fused forward matches ``embed`` bit-for-rounding."""
     dataset, batch = _coles_batch(seed=9)
