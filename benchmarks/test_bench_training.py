@@ -19,8 +19,12 @@ Gradient equivalence (< 1e-8) is property-tested in
 are additionally cross-checked per step while measuring steps/sec.
 Results are recorded through ``bench_record`` to ``BENCH_training.json``
 at the repo root (uploaded by CI's bench job, which gates
-``steps_per_sec.fused`` at the 30% budget; the target trajectory is
->= 3x steps/sec, the asserted floor 2x to absorb shared-runner noise).
+``steps_per_sec.fused`` and ``steps_per_sec.finetune_fused`` at the
+30% budget; the target trajectory is >= 3x steps/sec, the asserted
+floor 2x to absorb shared-runner noise).  Three workloads: the CoLES
+training step, CPC/RTD per-step pre-training, and supervised
+fine-tuning (the classification head moved onto the fused engine in
+PR 5).
 """
 
 import time
@@ -28,7 +32,7 @@ import time
 import numpy as np
 
 from repro.augmentations import RandomSlices
-from repro.baselines import CPC, RTD
+from repro.baselines import CPC, RTD, FineTuneConfig, SequenceClassifier
 from repro.baselines.pretrain_common import PretrainConfig
 from repro.core import ContrastiveTrainer, TrainConfig, augment_batch
 from repro.data.sequences import EventSequence, SequenceDataset
@@ -46,8 +50,18 @@ from repro.nn import Adam
 _TELEMETRY = {}
 
 
+def _deep_merge(into, update):
+    for key, value in update.items():
+        if isinstance(value, dict) and isinstance(into.get(key), dict):
+            _deep_merge(into[key], value)
+        else:
+            into[key] = value
+
+
 def _record_training(bench_record, update):
-    _TELEMETRY.update(update)
+    # Recursive merge: tests contribute sibling keys to shared subtrees
+    # (steps_per_sec, baselines) regardless of execution order.
+    _deep_merge(_TELEMETRY, update)
     return bench_record("training", _TELEMETRY)
 
 # (clients, mean events) cohorts: the length-skewed population the
@@ -244,3 +258,81 @@ def test_per_step_baseline_throughput_fused_vs_tensor(run_once, bench_record):
     # shared-runner noise while a lost fused path still fails loudly).
     for kind, results in baselines.items():
         assert results["speedup"]["fused_engine"] >= 2.0, kind
+
+
+# ----------------------------------------------------------------------
+# supervised fine-tuning: the classification head on both engines
+# ----------------------------------------------------------------------
+
+FINETUNE_CLIENTS = 28
+FINETUNE_BATCH = 8
+
+
+def _finetune_dataset(seed=0):
+    return make_churn_dataset(num_clients=FINETUNE_CLIENTS, mean_length=120,
+                              min_length=40, max_length=200,
+                              labeled_fraction=1.0, seed=seed)
+
+
+def _run_finetune_engine(dataset, engine, repeats=3):
+    """Best steps/sec of ``repeats`` one-epoch fine-tunes; (history, s)."""
+    best, history = float("inf"), None
+    for _ in range(repeats):
+        encoder = build_encoder(dataset.schema, HIDDEN, "gru",
+                                rng=np.random.default_rng(1))
+        classifier = SequenceClassifier(encoder, num_classes=2, seed=2)
+        config = FineTuneConfig(num_epochs=1, batch_size=FINETUNE_BATCH,
+                                learning_rate=0.002, seed=3, engine=engine)
+        started = time.perf_counter()
+        classifier.fit(dataset, config)
+        elapsed = time.perf_counter() - started
+        if elapsed < best:
+            best, history = elapsed, classifier.history
+    return history, best
+
+
+def test_finetune_throughput_fused_vs_tensor(run_once, bench_record):
+    """Supervised fine-tuning steps/sec: fused vs autograd engine.
+
+    The last recurrent training loop moved onto the fused kernels: the
+    whole step — encoder forward, closed-form cross-entropy + head
+    backward, BPTT — is graph-free under ``engine="fused"``.  The gated
+    key is ``steps_per_sec.finetune_fused`` (top level, next to the
+    CoLES step's ``steps_per_sec.fused``); the tensor reference joins
+    the CPC/RTD numbers under the ``baselines`` subtree.
+    """
+
+    def experiment():
+        dataset = _finetune_dataset()
+        steps = -(-len(dataset) // FINETUNE_BATCH)  # batches per epoch
+        tensor_hist, tensor_s = _run_finetune_engine(dataset, "tensor")
+        fused_hist, fused_s = _run_finetune_engine(dataset, "fused")
+        # Same optimisation on either engine, to rounding.
+        np.testing.assert_allclose(fused_hist, tensor_hist, atol=1e-8)
+
+        finetune = {
+            "steps_per_sec": {
+                "tensor": steps / tensor_s,
+                "fused": steps / fused_s,
+            },
+            "speedup": {"fused_engine": tensor_s / fused_s},
+        }
+        _record_training(bench_record, {
+            "steps_per_sec": {"finetune_fused": steps / fused_s},
+            "baselines": {"finetune": finetune},
+        })
+
+        table = ComparisonTable(
+            "Fine-tuning throughput: fused classification head vs autograd",
+            ["engine", "steps/s", "speedup"],
+        )
+        for engine, seconds in (("tensor", tensor_s), ("fused", fused_s)):
+            table.add_row(engine, "%.2f" % (steps / seconds),
+                          "%.1fx" % (tensor_s / seconds))
+        table.print()
+        return finetune
+
+    finetune = run_once(experiment)
+    # Acceptance floor: >= 2x over the tensor engine (measured ~4x; the
+    # slack absorbs shared-runner noise, losing the fused path fails).
+    assert finetune["speedup"]["fused_engine"] >= 2.0

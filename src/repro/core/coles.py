@@ -111,12 +111,18 @@ class CoLES:
 
     # ------------------------------------------------------------------
     def fine_tune(self, dataset, num_classes=None, num_epochs=10,
-                  batch_size=32, learning_rate=0.002):
+                  batch_size=32, learning_rate=0.002,
+                  encoder_learning_rate=None, engine="auto"):
         """Phase 2b: attach a softmax head and train jointly on labels.
 
         Returns the fitted
         :class:`~repro.baselines.supervised.SequenceClassifier`; the
         encoder weights are updated in place (the classifier shares them).
+        Like :meth:`fit`, the default ``engine="auto"`` runs recurrent
+        encoders through the fused graph-free runtime (the cross-entropy
+        + head backward is hand-derived) and transformers through the
+        tensor engine; ``encoder_learning_rate`` trains the pre-trained
+        encoder more gently than the fresh head when set.
         """
         from ..baselines.supervised import FineTuneConfig, SequenceClassifier
 
@@ -129,7 +135,9 @@ class CoLES:
         classifier.fit(
             labeled,
             FineTuneConfig(num_epochs=num_epochs, batch_size=batch_size,
-                           learning_rate=learning_rate, seed=self.seed),
+                           learning_rate=learning_rate,
+                           encoder_learning_rate=encoder_learning_rate,
+                           seed=self.seed, engine=engine),
         )
         return classifier
 

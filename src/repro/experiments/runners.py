@@ -139,8 +139,13 @@ def phase2a_test_metric(profile, method, train, test, seed=0):
     )
 
 
-def phase2b_test_metric(profile, method, train, test, seed=0):
-    """Table 7 protocol: (pre-trained) encoder + head fine-tuned on labels."""
+def phase2b_test_metric(profile, method, train, test, seed=0, engine="auto"):
+    """Table 7 protocol: (pre-trained) encoder + head fine-tuned on labels.
+
+    ``engine`` selects the fine-tuning execution engine (the default
+    ``"auto"`` resolves to fused for the recurrent profile encoders and
+    tensor for transformers); pre-training keeps its own ``"auto"``.
+    """
     test_labels = test.label_array()
     metric = task_metric(test_labels)
     config = FineTuneConfig(
@@ -148,6 +153,7 @@ def phase2b_test_metric(profile, method, train, test, seed=0):
         batch_size=profile.batch_size,
         learning_rate=profile.learning_rate,
         seed=seed,
+        engine=engine,
     )
     if method == "designed":
         return phase2a_test_metric(profile, "designed", train, test, seed=seed)

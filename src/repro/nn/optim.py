@@ -8,13 +8,49 @@ __all__ = ["SGD", "Adam", "clip_grad_norm", "StepLR"]
 
 
 class Optimizer:
-    """Base class holding a parameter list and a learning rate."""
+    """Base class holding parameter groups with per-group learning rates.
+
+    ``parameters`` is either a flat iterable of parameters (one group at
+    ``lr``) or an iterable of dicts ``{"params": [...], "lr": ...}`` —
+    the ``torch.optim`` parameter-group contract.  A group without its
+    own ``lr`` inherits the optimizer default.  Fine-tuning uses this to
+    update a pre-trained encoder more gently than its fresh head.
+    """
 
     def __init__(self, parameters, lr):
-        self.parameters = list(parameters)
+        entries = list(parameters)
+        if entries and isinstance(entries[0], dict):
+            self.param_groups = [
+                {"params": list(entry["params"]), "lr": entry.get("lr", lr)}
+                for entry in entries
+            ]
+        else:
+            self.param_groups = [{"params": entries, "lr": lr}]
+        self.parameters = [param for group in self.param_groups
+                           for param in group["params"]]
         if not self.parameters:
             raise ValueError("optimizer received no parameters")
-        self.lr = lr
+
+    @property
+    def lr(self):
+        """The first group's learning rate (the whole list's, pre-groups).
+
+        Assigning sets every group to the same value; per-group schedules
+        should mutate ``param_groups`` directly (what :class:`StepLR`
+        does, preserving the ratios between groups).
+        """
+        return self.param_groups[0]["lr"]
+
+    @lr.setter
+    def lr(self, value):
+        for group in self.param_groups:
+            group["lr"] = value
+
+    def _param_lrs(self):
+        """Yield ``(param, lr)`` over all groups, flat parameter order."""
+        for group in self.param_groups:
+            for param in group["params"]:
+                yield param, group["lr"]
 
     def zero_grad(self):
         for param in self.parameters:
@@ -34,7 +70,7 @@ class SGD(Optimizer):
         self._velocity = [np.zeros_like(p.data) for p in self.parameters]
 
     def step(self):
-        for param, velocity in zip(self.parameters, self._velocity):
+        for (param, lr), velocity in zip(self._param_lrs(), self._velocity):
             if param.grad is None:
                 continue
             grad = param.grad
@@ -44,7 +80,7 @@ class SGD(Optimizer):
                 velocity *= self.momentum
                 velocity += grad
                 grad = velocity
-            param.data = param.data - self.lr * grad
+            param.data = param.data - lr * grad
 
 
 class Adam(Optimizer):
@@ -64,7 +100,8 @@ class Adam(Optimizer):
         self._step_count += 1
         bias1 = 1.0 - self.beta1**self._step_count
         bias2 = 1.0 - self.beta2**self._step_count
-        for param, first, second in zip(self.parameters, self._first, self._second):
+        for (param, lr), first, second in zip(self._param_lrs(), self._first,
+                                              self._second):
             if param.grad is None:
                 continue
             grad = param.grad
@@ -76,7 +113,7 @@ class Adam(Optimizer):
             second += (1.0 - self.beta2) * grad * grad
             corrected_first = first / bias1
             corrected_second = second / bias2
-            param.data = param.data - self.lr * corrected_first / (
+            param.data = param.data - lr * corrected_first / (
                 np.sqrt(corrected_second) + self.eps
             )
 
@@ -96,7 +133,11 @@ def clip_grad_norm(parameters, max_norm):
 
 
 class StepLR:
-    """Multiply the optimizer's lr by ``gamma`` every ``step_size`` epochs."""
+    """Multiply the optimizer's lr by ``gamma`` every ``step_size`` epochs.
+
+    Scales every parameter group, so per-group ratios (e.g. a gentler
+    encoder rate under fine-tuning) are preserved across the schedule.
+    """
 
     def __init__(self, optimizer, step_size, gamma=0.5):
         self.optimizer = optimizer
@@ -107,4 +148,5 @@ class StepLR:
     def step(self):
         self._epoch += 1
         if self._epoch % self.step_size == 0:
-            self.optimizer.lr *= self.gamma
+            for group in self.optimizer.param_groups:
+                group["lr"] *= self.gamma

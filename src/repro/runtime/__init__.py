@@ -11,9 +11,10 @@ The execution-path split of the codebase:
   :class:`FusedTrainStep` runs the encoder forward and hand-derived BPTT
   (:func:`~repro.runtime.kernels.rnn_backward`) as raw numpy — the
   default engine for recurrent encoders (``engine="auto"`` resolves via
-  :func:`resolve_engine`), covering both final-embedding objectives
-  (CoLES losses, NSP/SOP) and per-step objectives (CPC, RTD) through
-  the ``d_states``/``d_events`` gradient interface;
+  :func:`resolve_engine`), covering final-embedding objectives (CoLES
+  losses, NSP/SOP), per-step objectives (CPC, RTD) through the
+  ``d_states``/``d_events`` gradient interface, and supervised
+  fine-tuning through the hand-derived :func:`softmax_head_gradient`;
 - **serving** — the same forward kernels driven by a
   :class:`FusedEncoderRuntime`, with per-entity state owned by an
   :class:`EmbeddingStore`.
@@ -28,8 +29,10 @@ from . import kernels
 from .engine import FusedEncoderRuntime
 from .store import EmbeddingStore, advance_entities, bulk_load_states
 from .training import (FusedForwardCache, FusedTrainStep, loss_gradient,
-                       resolve_engine)
+                       resolve_engine, softmax_head_gradient,
+                       softmax_head_probabilities)
 
 __all__ = ["kernels", "FusedEncoderRuntime", "EmbeddingStore",
            "advance_entities", "bulk_load_states", "FusedTrainStep",
-           "FusedForwardCache", "loss_gradient", "resolve_engine"]
+           "FusedForwardCache", "loss_gradient", "softmax_head_gradient",
+           "softmax_head_probabilities", "resolve_engine"]

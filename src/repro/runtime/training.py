@@ -28,6 +28,13 @@ interface:
   :func:`repro.runtime.kernels.rnn_backward`'s per-step ``d_outputs``
   interface and the embedding scatter path.
 
+The supervised fine-tuning head (softmax over classes) is simpler than
+either: cross-entropy through a single ``Linear`` has a closed-form
+gradient, so :func:`softmax_head_gradient` /
+:meth:`FusedTrainStep.backward_classification` hand-derive it too and no
+autograd graph is built at all — the last training loop over recurrent
+encoders runs fully fused.
+
 Equivalence contract: gradients match the autograd path to < 1e-8 and
 batch-norm running statistics update identically, so
 ``TrainConfig(engine="fused")`` and ``engine="tensor"`` walk the same
@@ -49,6 +56,7 @@ from ..nn.tensor import Tensor
 from . import kernels
 
 __all__ = ["FusedTrainStep", "FusedForwardCache", "loss_gradient",
+           "softmax_head_gradient", "softmax_head_probabilities",
            "resolve_engine"]
 
 
@@ -88,6 +96,66 @@ def loss_gradient(loss_fn, embeddings, groups, rng=None):
     if grad is None:
         grad = np.zeros_like(leaf.data)
     return loss.item(), grad
+
+
+def _head_softmax_parts(head, embeddings):
+    """The one softmax-head forward: ``(shifted_logits, exp, row_sums)``.
+
+    Shared by :func:`softmax_head_gradient` (training) and
+    :func:`softmax_head_probabilities` (inference) so the two paths can
+    never drift numerically: max-shifted logits of ``head(embeddings)``
+    in raw numpy, their exponentials, and the per-row partition sums.
+    """
+    logits = embeddings @ head.weight.data.T
+    if head.bias is not None:
+        logits = logits + head.bias.data
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return shifted, exp, exp.sum(axis=-1, keepdims=True)
+
+
+def softmax_head_probabilities(head, embeddings):
+    """Class probabilities of a softmax ``Linear`` head, raw numpy.
+
+    The inference half of the fused classification path (what
+    ``SequenceClassifier.predict_proba`` applies to fused-runtime
+    embeddings).  Matches ``F.softmax(head(embeddings))`` on the Tensor
+    path to float64 rounding.
+    """
+    _, exp, total = _head_softmax_parts(
+        head, np.asarray(embeddings, dtype=np.float64))
+    return exp / total
+
+
+def softmax_head_gradient(head, embeddings, targets):
+    """Hand-derived forward+backward of a softmax classification head.
+
+    The fine-tuning analogue of :func:`loss_gradient`, with no autograd
+    graph at all: runs the ``(B, H)`` embedding matrix through the
+    :class:`~repro.nn.Linear` ``head`` and the mean cross-entropy in raw
+    numpy, accumulates the head's weight/bias gradients (additive into
+    ``param.grad``, like everything on the fused path), and returns
+    ``(loss_value, d_embeddings)`` ready for
+    :meth:`FusedTrainStep.backward`.
+
+    The closed form: with ``p = softmax(e W^T + b)`` and one-hot targets
+    ``y``, the logit gradient of the mean NLL is ``(p - y) / B``; the
+    head gradients and ``d_embeddings`` follow by the linear-layer chain
+    rule.  Matches ``F.cross_entropy(head(embeddings), targets)`` +
+    ``Tensor.backward`` to float64 rounding.
+    """
+    embeddings = np.asarray(embeddings, dtype=np.float64)
+    targets = np.asarray(targets)
+    shifted, exp, total = _head_softmax_parts(head, embeddings)
+    rows = np.arange(len(targets))
+    loss = float(np.mean(np.log(total[:, 0]) - shifted[rows, targets]))
+    d_logits = exp / total
+    d_logits[rows, targets] -= 1.0
+    d_logits /= len(targets)
+    _accumulate(head.weight, d_logits.T @ embeddings)
+    if head.bias is not None:
+        _accumulate(head.bias, d_logits.sum(axis=0))
+    return loss, d_logits @ head.weight.data
 
 
 @dataclass
@@ -241,6 +309,22 @@ class FusedTrainStep:
         if d_events is not None:
             d_x = d_x + np.asarray(d_events, dtype=np.float64)
         self._encode_events_backward(cache.batch, d_x, cache.bn_scaled)
+
+    def backward_classification(self, cache, head, targets):
+        """Supervised fine-tuning backward: softmax head + cross-entropy.
+
+        Runs :func:`softmax_head_gradient` on the cached embeddings (the
+        head's gradients accumulate into its live parameters) and routes
+        the resulting ``d_embeddings`` through :meth:`backward` into the
+        encoder — the whole fine-tuning step is hand-derived, no Tensor
+        graph anywhere.  ``targets`` are integer class labels ``(B,)`` in
+        batch order.  Returns the scalar cross-entropy value.  Like
+        :meth:`backward`, a cache must not be used twice.
+        """
+        loss, d_embeddings = softmax_head_gradient(head, cache.embeddings,
+                                                   targets)
+        self.backward(cache, d_embeddings)
+        return loss
 
     def _encode_events_backward(self, batch, d_x, bn_scaled):
         """Route ``dLoss/dx`` into the embedding tables and batch norm.

@@ -361,3 +361,36 @@ class TestSequenceClassifier:
         clf = SequenceClassifier(encoder, num_classes=2)
         with pytest.raises(ValueError):
             clf.fit(ds)
+
+    @pytest.mark.parametrize("engine", ["tensor", "fused"])
+    def test_encoder_learning_rate_respected(self, dataset, engine):
+        """The encoder trains at encoder_learning_rate, not learning_rate.
+
+        Regression test for the silently-ignored ``encoder_learning_rate``
+        (one Adam at ``learning_rate`` for *all* parameters): with bias
+        correction, one Adam step moves a parameter by at most its
+        group's lr — so after exactly one step, encoder deltas must be
+        bounded by the (much smaller) encoder rate while the head moves
+        on the order of ``learning_rate``.  Adam's scale invariance makes
+        the bound immune to gradient clipping.
+        """
+        encoder_lr, head_lr = 0.001, 0.1
+        encoder = build_encoder(dataset.schema, 12, "gru",
+                                rng=np.random.default_rng(7))
+        clf = SequenceClassifier(encoder, num_classes=2, seed=1)
+        before = {name: value.copy()
+                  for name, value in encoder.state_dict().items()}
+        head_before = clf.head.weight.data.copy()
+        clf.fit(dataset, FineTuneConfig(
+            num_epochs=1, batch_size=len(dataset), learning_rate=head_lr,
+            encoder_learning_rate=encoder_lr, seed=0, engine=engine))
+        after = encoder.state_dict()
+        deltas = [np.max(np.abs(after[name] - before[name]))
+                  for name, param in encoder.named_parameters()]
+        max_delta = max(deltas)
+        # Bounded by the configured encoder rate (old bug: ~head_lr)...
+        assert max_delta <= encoder_lr * 1.001, max_delta
+        # ...and the encoder genuinely moved at that rate.
+        assert max_delta > 0.5 * encoder_lr
+        head_delta = np.max(np.abs(clf.head.weight.data - head_before))
+        assert head_delta > 10 * encoder_lr

@@ -10,9 +10,12 @@ tested here:
   checkpoints (selecting an engine must not touch the weights);
 - after N real optimisation steps on synthetic data the trained weights
   agree to < 1e-8 (same gradients -> same Adam trajectory) — for the
-  final-embedding objectives (CoLES, NSP/SOP) *and* the per-step ones
-  (CPC, RTD);
+  final-embedding objectives (CoLES, NSP/SOP), the per-step ones
+  (CPC, RTD) *and* supervised fine-tuning (``FineTuneConfig``,
+  GRU+LSTM x bucketed/unsorted batches x fresh/pre-trained encoder,
+  with and without a distinct ``encoder_learning_rate``);
 - "auto" picks fused for GRU/LSTM and tensor for transformers;
+- ``predict_proba`` agrees across inference paths to < 1e-10;
 - invalid engines and unsupported encoders fail loudly.
 """
 
@@ -20,14 +23,18 @@ import numpy as np
 import pytest
 
 from repro.augmentations import RandomSlices
-from repro.baselines import CPC, NSP, RTD, SOP
+from repro.baselines import (CPC, NSP, RTD, SOP, FineTuneConfig,
+                             SequenceClassifier)
 from repro.baselines.pretrain_common import PretrainConfig
 from repro.core import ContrastiveTrainer, TrainConfig
+from repro.data.batches import collate
 from repro.data.sequences import SequenceDataset
 from repro.data.synthetic import make_churn_dataset
 from repro.encoders import build_encoder
 from repro.losses import ContrastiveLoss
-from repro.runtime import resolve_engine
+from repro.nn import no_grad
+from repro.nn import functional as F
+from repro.runtime import FusedTrainStep, resolve_engine
 
 
 def _dataset(seed=0):
@@ -258,3 +265,163 @@ def test_pair_baselines_engines_equivalent(task_cls):
     for name, param in tensor_task.head.named_parameters():
         np.testing.assert_allclose(fused_head[name].data, param.data,
                                    atol=1e-8, rtol=1e-8, err_msg=name)
+
+
+# ----------------------------------------------------------------------
+# supervised fine-tuning: the last recurrent training loop on the
+# fused engine (classification head, per-group learning rates)
+# ----------------------------------------------------------------------
+
+def _labeled_dataset(seed=0):
+    return make_churn_dataset(num_clients=14, mean_length=25, min_length=10,
+                              max_length=50, labeled_fraction=1.0, seed=seed)
+
+
+def _finetune(dataset, engine, cell="gru", pretrained=False,
+              bucket_window=None, encoder_lr=None, num_epochs=2):
+    """Build (optionally pre-train) an encoder and fine-tune it."""
+    encoder = build_encoder(dataset.schema, 12, cell,
+                            rng=np.random.default_rng(5))
+    if pretrained:
+        # An identical, deterministic pre-training phase on both sides,
+        # so only the fine-tuning engine differs between the runs.
+        ContrastiveTrainer(encoder, ContrastiveLoss(), RandomSlices(5, 20, 3),
+                           TrainConfig(num_epochs=1, batch_size=7,
+                                       seed=11)).fit(dataset)
+    classifier = SequenceClassifier(encoder, num_classes=2, seed=2)
+    classifier.fit(dataset, FineTuneConfig(
+        num_epochs=num_epochs, batch_size=6, learning_rate=0.01,
+        encoder_learning_rate=encoder_lr, bucket_window=bucket_window,
+        seed=3, engine=engine))
+    return classifier
+
+
+def _assert_classifiers_close(fused, tensor, atol=1e-8):
+    np.testing.assert_allclose(fused.history, tensor.history, atol=atol)
+    fused_state = fused.encoder.state_dict()
+    for name, value in tensor.encoder.state_dict().items():
+        np.testing.assert_allclose(fused_state[name], value, atol=atol,
+                                   rtol=atol, err_msg=name)
+    fused_head = dict(fused.head.named_parameters())
+    for name, param in tensor.head.named_parameters():
+        np.testing.assert_allclose(fused_head[name].data, param.data,
+                                   atol=atol, rtol=atol, err_msg=name)
+
+
+def test_finetune_engines_byte_identical_after_zero_steps():
+    """Selecting a fine-tuning engine must not touch any weight.
+
+    The fused path's whole setup — engine resolution plus
+    ``FusedTrainStep`` construction, everything ``fit()`` does before
+    optimisation step 1 — runs without perturbing encoder or head.
+    """
+    dataset = _labeled_dataset()
+    tensor_clf = SequenceClassifier(
+        build_encoder(dataset.schema, 12, "gru",
+                      rng=np.random.default_rng(5)), num_classes=2, seed=2)
+    fused_clf = SequenceClassifier(
+        build_encoder(dataset.schema, 12, "gru",
+                      rng=np.random.default_rng(5)), num_classes=2, seed=2)
+    assert resolve_engine("auto", fused_clf.encoder) == "fused"
+    FusedTrainStep(fused_clf.encoder)
+    tensor_state = tensor_clf.encoder.state_dict()
+    fused_state = fused_clf.encoder.state_dict()
+    assert tensor_state.keys() == fused_state.keys()
+    for name, value in tensor_state.items():
+        assert value.tobytes() == fused_state[name].tobytes(), name
+    fused_head = dict(fused_clf.head.named_parameters())
+    for name, param in tensor_clf.head.named_parameters():
+        assert param.data.tobytes() == fused_head[name].data.tobytes(), name
+
+
+@pytest.mark.parametrize("cell", ["gru", "lstm"])
+@pytest.mark.parametrize("bucket_window", [None, 2],
+                         ids=["unsorted", "bucketed"])
+@pytest.mark.parametrize("pretrained", [False, True],
+                         ids=["fresh", "pretrained"])
+def test_finetune_engines_equivalent_after_training(cell, bucket_window,
+                                                    pretrained):
+    """Fine-tuning lands on the same weights on either engine (< 1e-8).
+
+    The property grid: GRU + LSTM, length-bucketed and fully random
+    batch plans, fresh and CoLES-pre-trained encoders.  History (mean
+    cross-entropy per epoch), encoder state and head must all agree.
+    """
+    dataset = _labeled_dataset()
+    tensor_clf = _finetune(dataset, "tensor", cell=cell,
+                           pretrained=pretrained,
+                           bucket_window=bucket_window)
+    fused_clf = _finetune(dataset, "fused", cell=cell, pretrained=pretrained,
+                          bucket_window=bucket_window)
+    assert tensor_clf.engine == "tensor"
+    assert fused_clf.engine == "fused"
+    _assert_classifiers_close(fused_clf, tensor_clf)
+
+
+@pytest.mark.parametrize("cell", ["gru", "lstm"])
+def test_finetune_distinct_encoder_lr_equivalent(cell):
+    """Per-group learning rates track each other across engines.
+
+    ``encoder_learning_rate != learning_rate`` must steer the *same*
+    per-group Adam trajectory on the fused path as on the tensor path.
+    """
+    dataset = _labeled_dataset(seed=6)
+    tensor_clf = _finetune(dataset, "tensor", cell=cell, encoder_lr=0.05)
+    fused_clf = _finetune(dataset, "fused", cell=cell, encoder_lr=0.05)
+    _assert_classifiers_close(fused_clf, tensor_clf)
+
+
+def test_predict_proba_paths_agree():
+    """Fused-runtime ``predict_proba`` == the Tensor loop, < 1e-10."""
+    dataset = _labeled_dataset(seed=4)
+    classifier = _finetune(dataset, "fused", num_epochs=1)
+    probs = classifier.predict_proba(dataset, batch_size=5)
+    reference = np.zeros_like(probs)
+    classifier.encoder.eval()
+    with no_grad():
+        for start in range(0, len(dataset), 5):
+            chunk = dataset.sequences[start:start + 5]
+            batch = collate(chunk, dataset.schema)
+            logits = classifier.head(classifier.encoder.embed(batch))
+            reference[start:start + len(chunk)] = F.softmax(
+                logits, axis=-1).data
+    np.testing.assert_allclose(probs, reference, atol=1e-10)
+    np.testing.assert_allclose(probs.sum(axis=1), 1.0, atol=1e-12)
+
+
+def test_finetune_auto_engine_resolution():
+    """Fine-tuning "auto" -> fused for GRU/LSTM, tensor for transformers."""
+    dataset = _labeled_dataset()
+    classifier = _finetune(dataset, "auto", num_epochs=1)
+    assert classifier.engine == "fused"
+    transformer = build_encoder(dataset.schema, 8, "transformer",
+                                rng=np.random.default_rng(0))
+    fallback = SequenceClassifier(transformer, num_classes=2, seed=2)
+    fallback.fit(dataset, FineTuneConfig(num_epochs=1, batch_size=6, seed=3))
+    assert fallback.engine == "tensor"
+
+
+def test_finetune_fused_engine_rejects_transformer():
+    """Pinning engine="fused" on a transformer fails loudly at fit()."""
+    dataset = _labeled_dataset()
+    transformer = build_encoder(dataset.schema, 8, "transformer",
+                                rng=np.random.default_rng(0))
+    classifier = SequenceClassifier(transformer, num_classes=2, seed=2)
+    with pytest.raises(TypeError):
+        classifier.fit(dataset, FineTuneConfig(num_epochs=1, engine="fused"))
+
+
+def test_finetune_config_validation():
+    """FineTuneConfig validates like TrainConfig/PretrainConfig."""
+    with pytest.raises(ValueError):
+        FineTuneConfig(engine="cuda")
+    with pytest.raises(ValueError):
+        FineTuneConfig(num_epochs=0)
+    with pytest.raises(ValueError):
+        FineTuneConfig(batch_size=0)
+    with pytest.raises(ValueError):
+        FineTuneConfig(learning_rate=0.0)
+    with pytest.raises(ValueError):
+        FineTuneConfig(encoder_learning_rate=-1.0)
+    config = FineTuneConfig(learning_rate=0.005)
+    assert config.encoder_learning_rate == 0.005  # defaults to learning_rate

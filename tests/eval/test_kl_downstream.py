@@ -72,6 +72,45 @@ class TestDownstream:
         )
         assert 0.0 <= score <= 1.0
 
+    def test_fine_tune_and_evaluate_engine_parity(self, age):
+        """Both fine-tuning engines land on the same test metric.
+
+        Same seeds, same batches — weights agree to < 1e-8, so the
+        downstream metric computed from the predicted probabilities must
+        match within rounding tolerance.
+        """
+        from repro.baselines import FineTuneConfig
+        from repro.data import train_test_split
+
+        train, test = train_test_split(age, 0.2, seed=0)
+        scores = {}
+        for engine in ("tensor", "fused"):
+            encoder = build_encoder(age.schema, 12, "gru",
+                                    rng=np.random.default_rng(0))
+            scores[engine] = fine_tune_and_evaluate(
+                encoder, train, test,
+                config=FineTuneConfig(num_epochs=2, batch_size=16, seed=0,
+                                      engine=engine),
+            )
+        assert scores["fused"] == pytest.approx(scores["tensor"], abs=1e-6)
+
+    def test_fine_tune_and_evaluate_transformer_falls_back(self, age):
+        """Default "auto" config: transformers run on the tensor engine."""
+        from repro.data import train_test_split
+        from repro.runtime import resolve_engine
+
+        train, test = train_test_split(age, 0.2, seed=0)
+        encoder = build_encoder(age.schema, 8, "transformer",
+                                rng=np.random.default_rng(0))
+        assert resolve_engine("auto", encoder) == "tensor"
+        from repro.baselines import FineTuneConfig
+
+        score = fine_tune_and_evaluate(
+            encoder, train, test,
+            config=FineTuneConfig(num_epochs=1, batch_size=16, seed=0),
+        )
+        assert 0.0 <= score <= 1.0
+
 
 class TestReporting:
     def test_table_renders_aligned(self):

@@ -94,6 +94,39 @@ class TestRunners:
                                     seed=0)
         assert 0.0 <= score <= 1.0
 
+    def test_phase2b_engine_parity(self, tiny_profile, tiny_split):
+        """The Table 7 / Figure 4 fine-tuning runner: fused == tensor.
+
+        phase2b under ``engine="fused"`` must reproduce the tensor
+        engine's test metric (weights agree to < 1e-8, predictions to
+        < 1e-10) — the seeded smoke version of the paper runners on the
+        fused engine.
+        """
+        train, test = tiny_split
+        scores = {
+            engine: phase2b_test_metric(tiny_profile, "supervised", train,
+                                        test, seed=0, engine=engine)
+            for engine in ("tensor", "fused")
+        }
+        assert scores["fused"] == pytest.approx(scores["tensor"], abs=1e-6)
+
+    def test_phase2b_transformer_profile_falls_back_to_tensor(self,
+                                                              tiny_split):
+        """A transformer profile fine-tunes via the tensor engine under
+        the default ``engine="auto"`` (the fused path rejects it)."""
+        from repro.encoders import build_encoder
+        from repro.runtime import resolve_engine
+
+        profile = scaled_profile("churn", num_clients=40, num_epochs=1,
+                                 fine_tune_epochs=1, encoder="transformer")
+        train, test = tiny_split
+        encoder = build_encoder(train.schema, profile.hidden_size,
+                                profile.encoder)
+        assert resolve_engine("auto", encoder) == "tensor"
+        score = phase2b_test_metric(profile, "supervised", train, test,
+                                    seed=0)
+        assert 0.0 <= score <= 1.0
+
     def test_gbm_config_uses_profile_rounds(self, tiny_profile):
         config = gbm_config_for(tiny_profile)
         assert config.num_rounds == tiny_profile.gbm_rounds

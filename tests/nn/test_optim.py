@@ -92,6 +92,66 @@ class TestAdam:
         np.testing.assert_allclose(first_step(1.0), first_step(100.0), rtol=1e-6)
 
 
+class TestParamGroups:
+    """Per-group learning rates (the fine-tuning encoder/head split)."""
+
+    def test_sgd_groups_step_at_their_own_rate(self):
+        slow = Parameter(np.zeros(2))
+        fast = Parameter(np.zeros(2))
+        opt = SGD([{"params": [slow], "lr": 0.01},
+                   {"params": [fast], "lr": 0.1}], lr=0.5)
+        for p in (slow, fast):
+            p.grad = np.ones(2)
+        opt.step()
+        np.testing.assert_allclose(slow.data, [-0.01, -0.01])
+        np.testing.assert_allclose(fast.data, [-0.1, -0.1])
+
+    def test_adam_first_step_magnitude_is_group_lr(self):
+        slow = Parameter(np.array([5.0]))
+        fast = Parameter(np.array([5.0]))
+        opt = Adam([{"params": [slow], "lr": 0.001},
+                    {"params": [fast], "lr": 0.1}], lr=0.5)
+        slow.grad = np.array([3.0])
+        fast.grad = np.array([3.0])
+        opt.step()
+        np.testing.assert_allclose(slow.data, [5.0 - 0.001], rtol=1e-6)
+        np.testing.assert_allclose(fast.data, [5.0 - 0.1], rtol=1e-6)
+
+    def test_group_without_lr_inherits_default(self):
+        p = Parameter(np.zeros(1))
+        opt = SGD([{"params": [p]}], lr=0.25)
+        p.grad = np.ones(1)
+        opt.step()
+        np.testing.assert_allclose(p.data, [-0.25])
+
+    def test_flat_list_is_one_group(self):
+        p = Parameter(np.zeros(1))
+        opt = SGD([p], lr=0.1)
+        assert len(opt.param_groups) == 1
+        assert opt.param_groups[0]["params"] == [p]
+        assert opt.lr == 0.1
+
+    def test_lr_setter_applies_to_all_groups(self):
+        a, b = Parameter(np.zeros(1)), Parameter(np.zeros(1))
+        opt = SGD([{"params": [a], "lr": 0.01},
+                   {"params": [b], "lr": 0.1}], lr=0.5)
+        opt.lr = 0.2
+        assert [g["lr"] for g in opt.param_groups] == [0.2, 0.2]
+
+    def test_empty_groups_raise(self):
+        with pytest.raises(ValueError):
+            SGD([{"params": [], "lr": 0.1}], lr=0.1)
+
+    def test_step_lr_preserves_group_ratios(self):
+        a, b = Parameter(np.zeros(1)), Parameter(np.zeros(1))
+        opt = SGD([{"params": [a], "lr": 0.01},
+                   {"params": [b], "lr": 0.1}], lr=0.1)
+        sched = StepLR(opt, step_size=1, gamma=0.5)
+        sched.step()
+        np.testing.assert_allclose([g["lr"] for g in opt.param_groups],
+                                   [0.005, 0.05])
+
+
 class TestClipping:
     def test_clip_reduces_norm(self):
         p = Parameter(np.zeros(4))

@@ -16,9 +16,11 @@ from repro.core.batching import augment_batch
 from repro.data.synthetic import make_churn_dataset
 from repro.encoders import build_encoder
 from repro.losses import LOSSES
-from repro.nn import GRU, LSTM, Tensor, where
+from repro.nn import GRU, LSTM, Linear, Tensor, where
+from repro.nn import functional as F
 from repro.runtime import kernels
-from repro.runtime.training import FusedTrainStep, loss_gradient
+from repro.runtime.training import (FusedTrainStep, loss_gradient,
+                                    softmax_head_gradient)
 
 ATOL = 1e-8
 RTOL = 1e-8
@@ -248,6 +250,107 @@ def test_per_step_only_backward_needs_no_embedding_gradient(cell):
                                    atol=ATOL, rtol=RTOL, err_msg=name)
 
 
+@pytest.mark.parametrize("bias", [True, False], ids=["bias", "no-bias"])
+def test_softmax_head_gradient_matches_autograd(bias):
+    """Closed-form CE + linear backward == autograd, head and embeddings.
+
+    The hand-derived classification-head path must reproduce the exact
+    loss value, head weight/bias gradients, and ``d_embeddings`` that
+    ``F.cross_entropy(head(embeddings), targets)`` + ``backward()``
+    produce — for random shapes, including single-row batches.
+    """
+    rng = np.random.default_rng(29)
+    for trial in range(4):
+        batch = int(rng.integers(1, 12))
+        hidden = int(rng.integers(1, 9))
+        classes = int(rng.integers(2, 7))
+        head_ref = Linear(hidden, classes, bias=bias, rng=np.random.default_rng(trial))
+        head_fused = Linear(hidden, classes, bias=bias,
+                            rng=np.random.default_rng(trial))
+        embeddings = rng.standard_normal((batch, hidden))
+        targets = rng.integers(0, classes, size=batch)
+
+        leaf = Tensor(embeddings, requires_grad=True)
+        loss = F.cross_entropy(head_ref(leaf), targets)
+        head_ref.zero_grad()
+        loss.backward()
+
+        value, d_embeddings = softmax_head_gradient(head_fused, embeddings,
+                                                    targets)
+        assert value == pytest.approx(loss.item(), abs=1e-12)
+        np.testing.assert_allclose(d_embeddings, leaf.grad, atol=1e-12)
+        np.testing.assert_allclose(head_fused.weight.grad,
+                                   head_ref.weight.grad, atol=1e-12)
+        if bias:
+            np.testing.assert_allclose(head_fused.bias.grad,
+                                       head_ref.bias.grad, atol=1e-12)
+        else:
+            assert head_fused.bias is None
+
+
+def test_softmax_head_gradient_accumulates():
+    """Head gradients add into existing ``param.grad`` like ``backward``."""
+    rng = np.random.default_rng(37)
+    head = Linear(4, 3, rng=rng)
+    embeddings = rng.standard_normal((5, 4))
+    targets = rng.integers(0, 3, size=5)
+    _, _ = softmax_head_gradient(head, embeddings, targets)
+    once = head.weight.grad.copy()
+    _, _ = softmax_head_gradient(head, embeddings, targets)
+    np.testing.assert_allclose(head.weight.grad, 2.0 * once, atol=1e-15)
+
+
+@pytest.mark.parametrize("cell", ["gru", "lstm"])
+def test_classification_step_gradients_match_tensor_engine(cell):
+    """The whole fused fine-tuning step == autograd, every parameter.
+
+    Encoder + softmax head on a real labeled batch (variable lengths,
+    unsorted rows): ``backward_classification`` must land the same
+    gradients on the embedding tables, batch norm, cell weights, learnt
+    initial states *and* the head as the Tensor graph does.
+    """
+    dataset = make_churn_dataset(num_clients=10, mean_length=30, min_length=8,
+                                 max_length=60, labeled_fraction=1.0, seed=15)
+    from repro.data.batches import collate
+
+    batch = collate(dataset.sequences, dataset.schema)
+    targets = batch.label_array()
+    reference = build_encoder(dataset.schema, 12, cell,
+                              rng=np.random.default_rng(6))
+    fused = build_encoder(dataset.schema, 12, cell,
+                          rng=np.random.default_rng(6))
+    head_ref = Linear(12, 2, rng=np.random.default_rng(8))
+    head_fused = Linear(12, 2, rng=np.random.default_rng(8))
+    reference.train()
+    fused.train()
+
+    loss = F.cross_entropy(head_ref(reference.embed(batch)), targets)
+    reference.zero_grad()
+    head_ref.zero_grad()
+    loss.backward()
+
+    step = FusedTrainStep(fused)
+    cache = step.forward(batch)
+    fused.zero_grad()
+    head_fused.zero_grad()
+    value = step.backward_classification(cache, head_fused, targets)
+
+    assert value == pytest.approx(loss.item(), abs=ATOL)
+    fused_params = dict(fused.named_parameters())
+    for name, param in reference.named_parameters():
+        np.testing.assert_allclose(fused_params[name].grad, param.grad,
+                                   atol=ATOL, rtol=RTOL, err_msg=name)
+    np.testing.assert_allclose(head_fused.weight.grad, head_ref.weight.grad,
+                               atol=ATOL, rtol=RTOL)
+    np.testing.assert_allclose(head_fused.bias.grad, head_ref.bias.grad,
+                               atol=ATOL, rtol=RTOL)
+    # Training-mode batch norm updated the running buffers identically.
+    fused_buffers = dict(fused.named_buffers())
+    for name, buffer in reference.named_buffers():
+        np.testing.assert_array_equal(fused_buffers[name], buffer,
+                                      err_msg=name)
+
+
 def test_eval_mode_uses_running_statistics():
     """In eval mode the fused forward matches ``embed`` bit-for-rounding."""
     dataset, batch = _coles_batch(seed=9)
@@ -303,8 +406,6 @@ def test_fused_step_rejects_non_recurrent_encoders():
 
 def test_l2_normalize_backward_matches_autograd():
     """Row-normalisation gradient mirrors ``nn.functional.l2_normalize``."""
-    from repro.nn import functional as F
-
     rng = np.random.default_rng(23)
     x = rng.standard_normal((7, 5))
     x[2] = 0.0  # exercise the eps-clipped branch
