@@ -36,14 +36,37 @@ def lookup(results, dotted_key):
 
 
 def numeric_leaves(results, prefix=""):
-    """Yield ``(dotted_key, value)`` for every numeric leaf, sorted."""
+    """Yield ``(dotted_key, value)`` for every numeric leaf, sorted.
+
+    The ``context`` subtree (machine metadata: cpu count, thread pins,
+    BLAS build, dtype policy) is descriptive, not a throughput — it is
+    printed by :func:`print_context`, never trended or gated.
+    """
     for key in sorted(results):
         value = results[key]
+        if not prefix and key == "context":
+            continue
         dotted = prefix + key if not prefix else "%s.%s" % (prefix, key)
         if isinstance(value, dict):
             yield from numeric_leaves(value, dotted)
         elif isinstance(value, (int, float)) and not isinstance(value, bool):
             yield dotted, float(value)
+
+
+def print_context(label, results):
+    """Print a file's recorded machine context (one line per field).
+
+    A regressed gate measured under a different dtype policy, thread
+    pinning or BLAS build than its baseline is a measurement-context
+    change, not a code regression — surfacing both contexts makes that
+    diagnosis a log-read instead of an archaeology session.
+    """
+    context = results.get("context")
+    if not isinstance(context, dict):
+        print("context %-8s <not recorded>" % label)
+        return
+    for key in sorted(context):
+        print("context %-8s %-22s %s" % (label, key, context[key]))
 
 
 def main(argv=None):
@@ -63,6 +86,9 @@ def main(argv=None):
         baseline = json.load(handle)
     with open(args.current) as handle:
         current = json.load(handle)
+
+    print_context("baseline", baseline)
+    print_context("current", current)
 
     # The trajectory: measured-vs-baseline ratio for every tracked metric,
     # printed on success as well as failure.

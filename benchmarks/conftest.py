@@ -13,9 +13,43 @@ against (see ``benchmarks/check_bench_regression.py``).
 import json
 import os
 
+import numpy as np
 import pytest
 
+from repro.runtime.engine import DEFAULT_PRECISION
+
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _blas_vendor():
+    """Best-effort BLAS vendor string from ``np.show_config``."""
+    try:
+        config = np.show_config(mode="dicts")
+        blas = config.get("Build Dependencies", {}).get("blas", {})
+        name = blas.get("name", "unknown")
+        version = blas.get("version", "")
+        return ("%s %s" % (name, version)).strip()
+    except (TypeError, AttributeError):  # older numpy: no dicts mode
+        return "unknown"
+
+
+def bench_context():
+    """Machine/configuration context recorded into every BENCH_*.json.
+
+    Throughput numbers are only comparable against a baseline measured
+    under the same dtype policy, thread pinning and BLAS build — this
+    subtree makes that context part of the committed artifact, and
+    ``check_bench_regression.py`` prints it next to any gate failure.
+    """
+    return {
+        "default_precision": DEFAULT_PRECISION,
+        "cpu_count": os.cpu_count(),
+        "omp_num_threads": os.environ.get("OMP_NUM_THREADS", "unset"),
+        "openblas_num_threads": os.environ.get("OPENBLAS_NUM_THREADS",
+                                               "unset"),
+        "blas": _blas_vendor(),
+        "numpy": np.__version__,
+    }
 
 
 @pytest.fixture
@@ -40,8 +74,10 @@ def bench_record():
 
     def record(name, results):
         path = os.path.join(REPO_ROOT, "BENCH_%s.json" % name)
+        payload = dict(results)
+        payload.setdefault("context", bench_context())
         with open(path, "w") as handle:
-            json.dump(results, handle, indent=2, sort_keys=True)
+            json.dump(payload, handle, indent=2, sort_keys=True)
             handle.write("\n")
         return path
 

@@ -12,12 +12,18 @@ recurrent states.  Two implementations of the same contract:
   :class:`~repro.serving.EmbeddingService` and flush as length-bucketed
   fused batches through ``update_many``.
 
-Both must produce identical embeddings (< 1e-10, asserted here); the
-speedup is recorded via ``bench_record`` to ``BENCH_serving.json``.  The
-committed file tracks the online-ingest trajectory across PRs (CI
-uploads it as an artifact; the hard regression gate currently covers
-``BENCH_inference.json`` only — see the ROADMAP bench-gating policy),
-and the >= 2x micro-batching floor is asserted below.
+A third path re-runs the micro-batched ingest with ``workers=2`` shard
+flushes (the bucket-parallel execution policy) and is recorded as
+``events_per_sec.parallel_flush``.
+
+All paths must produce the same embeddings as the cold recompute within
+the float32 drift bound of the default precision policy (the float64
+paths are held to 1e-10 in ``tests/``), and the parallel flush must be
+*bit-identical* to the serial service.  Speedups are recorded via
+``bench_record`` to ``BENCH_serving.json``; CI gates
+``events_per_sec.microbatched_ingest`` and
+``events_per_sec.parallel_flush`` at the 30% budget, and the >= 2x
+micro-batching floor is asserted below.
 """
 
 import time
@@ -91,9 +97,10 @@ def test_serving_ingest_throughput(run_once, bench_record):
                 store.update(chunk.seq_id, chunk, schema)
             return store, time.perf_counter() - started
 
-        def microbatched_ingest():
+        def microbatched_ingest(workers=1):
             service = EmbeddingService(encoder, schema, num_shards=8,
-                                       flush_events=1024, cache_capacity=0)
+                                       flush_events=1024, cache_capacity=0,
+                                       workers=workers)
             service.bulk_load(history)
             started = time.perf_counter()
             for chunk in log:
@@ -103,13 +110,22 @@ def test_serving_ingest_throughput(run_once, bench_record):
 
         loop_store, loop_s = _best_of(per_entity_loop)
         service, micro_s = _best_of(microbatched_ingest)
+        parallel_service, parallel_s = _best_of(
+            lambda: microbatched_ingest(workers=2))
 
-        # Same contract: both streaming paths equal the cold recompute.
+        # Same contract: both streaming paths equal the cold recompute
+        # within the float32 drift bound of the default precision policy
+        # (the float64 paths are held to 1e-10 in tests/; observed f32
+        # drift across batch shapes is ~1e-7).
         ids = [seq.seq_id for seq in dataset]
         reference = embed_dataset(encoder, dataset, runtime="fused")
         np.testing.assert_allclose(loop_store.embeddings(ids), reference,
-                                   atol=1e-10)
-        np.testing.assert_allclose(service.query(ids), reference, atol=1e-10)
+                                   atol=1e-5)
+        np.testing.assert_allclose(service.query(ids), reference, atol=1e-5)
+        # Parallel flushes are bit-identical to the serial service — the
+        # determinism contract of the execution policy, not a tolerance.
+        np.testing.assert_array_equal(parallel_service.query(ids),
+                                      service.query(ids))
 
         stats = service.stats()
         results = {
@@ -122,6 +138,9 @@ def test_serving_ingest_throughput(run_once, bench_record):
             "events_per_sec": {
                 "per_entity_update": stream_events / loop_s,
                 "microbatched_ingest": stream_events / micro_s,
+                # Micro-batched ingest with workers=2 shard flushes —
+                # bit-identical output, gated alongside the serial key.
+                "parallel_flush": stream_events / parallel_s,
             },
             "speedup": {"microbatching": loop_s / micro_s},
             "service": {
@@ -138,7 +157,8 @@ def test_serving_ingest_throughput(run_once, bench_record):
             ["path", "events/s", "speedup"],
         )
         base = results["events_per_sec"]["per_entity_update"]
-        for key in ("per_entity_update", "microbatched_ingest"):
+        for key in ("per_entity_update", "microbatched_ingest",
+                    "parallel_flush"):
             rate = results["events_per_sec"][key]
             table.add_row(key, "%.0f" % rate, "%.1fx" % (rate / base))
         table.print()

@@ -14,9 +14,14 @@ weights, same loss/rng):
   autograd — on the ``(B, H)`` embedding matrix for CoLES, on per-step
   state/event leaves for CPC and RTD.
 
-Gradient equivalence (< 1e-8) is property-tested in
-``tests/runtime/test_fused_training.py``; here the two engines' losses
-are additionally cross-checked per step while measuring steps/sec.
+The fused engine runs twice: ``precision="float64"`` (bit-compatible
+with the tensor graph — losses cross-checked at 1e-8) and the mixed
+``precision="float32"`` policy (float32 compute and gradients over
+float64 master weights and Adam state — losses drift-bounded), which is
+the gated ``steps_per_sec.fused`` key.  Gradient equivalence (< 1e-8)
+is property-tested in ``tests/runtime/test_fused_training.py``; here
+the engines' losses are additionally cross-checked per step while
+measuring steps/sec.
 Results are recorded through ``bench_record`` to ``BENCH_training.json``
 at the repo root (uploaded by CI's bench job, which gates
 ``steps_per_sec.fused`` and ``steps_per_sec.finetune_fused`` at the
@@ -106,7 +111,8 @@ def _training_batches(dataset, strategy, rng):
     return batches
 
 
-def _run_engine(engine, dataset, batches, strategy, repeats=3):
+def _run_engine(engine, dataset, batches, strategy, repeats=3,
+                precision="float64"):
     """Best steps/sec of ``repeats`` epochs over the fixed batch list."""
     best, losses = float("inf"), None
     for _ in range(repeats):
@@ -115,7 +121,7 @@ def _run_engine(engine, dataset, batches, strategy, repeats=3):
         trainer = ContrastiveTrainer(
             encoder, ContrastiveLoss(), strategy,
             TrainConfig(num_epochs=1, batch_size=BATCH_ENTITIES,
-                        engine=engine))
+                        engine=engine, precision=precision))
         optimizer = Adam(encoder.parameters(), lr=0.002)
         rng = np.random.default_rng(9)
         encoder.train()
@@ -139,11 +145,19 @@ def test_training_step_throughput_fused_vs_tensor(run_once, bench_record):
 
         tensor_losses, tensor_s = _run_engine("tensor", dataset, batches,
                                               strategy)
-        fused_losses, fused_s = _run_engine("fused", dataset, batches,
-                                            strategy)
+        fused64_losses, fused64_s = _run_engine("fused", dataset, batches,
+                                                strategy)
+        # Mixed precision: float32 compute/gradients over float64 master
+        # weights — the fast policy, and the gated steps_per_sec.fused.
+        fused32_losses, fused32_s = _run_engine("fused", dataset, batches,
+                                                strategy,
+                                                precision="float32")
 
-        # Same optimisation: identical per-step losses to rounding.
-        np.testing.assert_allclose(fused_losses, tensor_losses, atol=1e-8)
+        # Same optimisation: the float64 engine matches to rounding, the
+        # float32 policy within accumulated single-precision drift.
+        np.testing.assert_allclose(fused64_losses, tensor_losses, atol=1e-8)
+        np.testing.assert_allclose(fused32_losses, tensor_losses,
+                                   rtol=1e-3, atol=1e-3)
 
         results = {
             "workload": {
@@ -155,13 +169,19 @@ def test_training_step_throughput_fused_vs_tensor(run_once, bench_record):
             },
             "steps_per_sec": {
                 "tensor": len(batches) / tensor_s,
-                "fused": len(batches) / fused_s,
+                "fused": len(batches) / fused32_s,
+                "fused_f64": len(batches) / fused64_s,
             },
             "events_per_sec": {
                 "tensor": events / tensor_s,
-                "fused": events / fused_s,
+                "fused": events / fused32_s,
+                "fused_f64": events / fused64_s,
             },
-            "speedup": {"fused_engine": tensor_s / fused_s},
+            "speedup": {
+                "fused_engine": tensor_s / fused32_s,
+                "fused_engine_f64": tensor_s / fused64_s,
+                "precision_policy": fused64_s / fused32_s,
+            },
         }
         _record_training(bench_record, results)
 
@@ -169,7 +189,9 @@ def test_training_step_throughput_fused_vs_tensor(run_once, bench_record):
             "Training throughput: fused BPTT engine vs autograd",
             ["engine", "steps/s", "events/s", "speedup"],
         )
-        for engine, seconds in (("tensor", tensor_s), ("fused", fused_s)):
+        for engine, seconds in (("tensor", tensor_s),
+                                ("fused_f64", fused64_s),
+                                ("fused_f32", fused32_s)):
             table.add_row(engine, "%.2f" % (len(batches) / seconds),
                           "%.0f" % (events / seconds),
                           "%.1fx" % (tensor_s / seconds))

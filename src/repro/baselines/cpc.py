@@ -122,7 +122,9 @@ class CPC:
         config = config or PretrainConfig()
         engine = resolve_engine(config.engine, self.encoder)
         self.engine = engine
-        fused_step = FusedTrainStep(self.encoder) if engine == "fused" else None
+        fused_step = (FusedTrainStep(self.encoder,
+                                     precision=config.precision)
+                      if engine == "fused" else None)
         rng = np.random.default_rng(config.seed)
         truncated = SequenceDataset(
             [truncate_tail(seq, config.max_seq_length) for seq in dataset],

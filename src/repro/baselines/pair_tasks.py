@@ -55,7 +55,9 @@ class _PairPretrainer:
         config = config or PretrainConfig()
         engine = resolve_engine(config.engine, self.encoder)
         self.engine = engine
-        fused_step = FusedTrainStep(self.encoder) if engine == "fused" else None
+        fused_step = (FusedTrainStep(self.encoder,
+                                     precision=config.precision)
+                      if engine == "fused" else None)
         rng = np.random.default_rng(config.seed)
         sequences = [truncate_tail(seq, config.max_seq_length) for seq in dataset]
         optimizer = Adam(self._parameters(), lr=config.learning_rate)

@@ -33,6 +33,9 @@ class PretrainConfig:
     # SOP, RTD) run on either engine with gradients equivalent to
     # < 1e-8.
     engine: str = "auto"
+    # Fused-engine compute dtype: "float64" (default, the parity
+    # reference) or "float32" (mixed precision).  Tensor engine: ignored.
+    precision: str = "float64"
 
     def __post_init__(self):
         if self.num_epochs < 1:
@@ -45,6 +48,11 @@ class PretrainConfig:
             raise ValueError(
                 "unknown engine %r (use 'auto', 'tensor' or 'fused')"
                 % self.engine
+            )
+        if self.precision not in ("float32", "float64"):
+            raise ValueError(
+                "unknown precision %r (use 'float32' or 'float64')"
+                % self.precision
             )
 
 

@@ -37,14 +37,22 @@ def _embed_dataset_tensor(encoder, dataset, batch_size):
     return embeddings
 
 
-def _embed_dataset_fused(encoder, dataset, batch_size):
+def _embed_dataset_fused(encoder, dataset, batch_size, precision, workers):
     """Hot path: fused kernels over a globally length-sorted batch plan."""
-    runtime = (encoder if isinstance(encoder, FusedEncoderRuntime)
-               else FusedEncoderRuntime(encoder))
+    if isinstance(encoder, FusedEncoderRuntime):
+        runtime = encoder
+    else:
+        kwargs = {}
+        if precision is not None:
+            kwargs["precision"] = precision
+        if workers is not None:
+            kwargs["workers"] = workers
+        runtime = FusedEncoderRuntime(encoder, **kwargs)
     return runtime.embed_dataset(dataset, batch_size=batch_size)
 
 
-def embed_dataset(encoder, dataset, batch_size=64, runtime="auto"):
+def embed_dataset(encoder, dataset, batch_size=64, runtime="auto",
+                  precision=None, workers=None):
     """Embed every sequence; returns ``(N, d)`` float array.
 
     ``runtime`` selects the execution path:
@@ -54,6 +62,10 @@ def embed_dataset(encoder, dataset, batch_size=64, runtime="auto"):
     - ``"fused"``: require the fused runtime (TypeError for transformers);
     - ``"tensor"``: force the differentiable path (used by equivalence
       tests and benchmarks).
+
+    ``precision`` and ``workers`` configure the fused runtime's dtype
+    policy and bucket-parallel worker count (None: the runtime defaults).
+    The Tensor path is the float64 reference and ignores both.
     """
     if runtime not in ("auto", "fused", "tensor"):
         raise ValueError("unknown runtime %r" % runtime)
@@ -62,7 +74,8 @@ def embed_dataset(encoder, dataset, batch_size=64, runtime="auto"):
     if runtime == "fused" or isinstance(
         encoder, (RnnSeqEncoder, FusedEncoderRuntime)
     ):
-        return _embed_dataset_fused(encoder, dataset, batch_size)
+        return _embed_dataset_fused(encoder, dataset, batch_size,
+                                    precision, workers)
     return _embed_dataset_tensor(encoder, dataset, batch_size)
 
 
@@ -99,9 +112,9 @@ class IncrementalEmbedder:
     rejected (the store raises TypeError).
     """
 
-    def __init__(self, encoder):
+    def __init__(self, encoder, precision=None):
         try:
-            self.store = EmbeddingStore(encoder)
+            self.store = EmbeddingStore(encoder, precision=precision)
         except TypeError:
             raise TypeError(
                 "incremental inference requires a recurrent encoder "

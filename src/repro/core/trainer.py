@@ -34,6 +34,11 @@ class TrainConfig:
     # "fused"  — graph-free numpy BPTT (repro.runtime.training), gradient-
     # equivalent to < 1e-8 and several times faster for GRU/LSTM encoders.
     engine: str = "auto"
+    # Compute dtype of the fused engine: "float64" (default — the
+    # engine-parity reference, identical trajectories to the Tensor
+    # path) or "float32" (mixed precision: float32 compute/gradients,
+    # float64 master weights).  The Tensor engine ignores it.
+    precision: str = "float64"
 
     def __post_init__(self):
         if self.num_epochs < 1:
@@ -46,6 +51,11 @@ class TrainConfig:
             raise ValueError(
                 "unknown engine %r (use 'auto', 'tensor' or 'fused')"
                 % self.engine
+            )
+        if self.precision not in ("float32", "float64"):
+            raise ValueError(
+                "unknown precision %r (use 'float32' or 'float64')"
+                % self.precision
             )
 
 
@@ -86,7 +96,8 @@ class ContrastiveTrainer:
         # transformers.  The resolved engine is kept for introspection.
         self.engine = resolve_engine(self.config.engine, encoder)
         if self.engine == "fused":
-            self._fused_step = FusedTrainStep(encoder)
+            self._fused_step = FusedTrainStep(encoder,
+                                              precision=self.config.precision)
         else:
             self._fused_step = None
 

@@ -68,16 +68,23 @@ class RnnSeqEncoder(SeqEncoder):
         states, last = self.rnn(events, mask=batch.mask)
         return states, self._head(last)
 
-    def fused_runtime(self):
+    def fused_runtime(self, precision=None, workers=None):
         """Graph-free serving runtime sharing this encoder's weights.
 
         The returned :class:`~repro.runtime.FusedEncoderRuntime` reads the
         parameters live, so it keeps serving the current weights after
-        further training.
+        further training.  ``precision``/``workers`` configure the
+        runtime's dtype policy and bucket-parallel worker count (None:
+        the runtime defaults).
         """
         from ..runtime import FusedEncoderRuntime
 
-        return FusedEncoderRuntime(self)
+        kwargs = {}
+        if precision is not None:
+            kwargs["precision"] = precision
+        if workers is not None:
+            kwargs["workers"] = workers
+        return FusedEncoderRuntime(self, **kwargs)
 
 
 class TransformerSeqEncoder(SeqEncoder):

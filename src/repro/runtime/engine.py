@@ -3,12 +3,27 @@
 :class:`FusedEncoderRuntime` wraps a trained :class:`RnnSeqEncoder` and
 runs its forward pass through the graph-free kernels of
 :mod:`repro.runtime.kernels`.  Weights are read through the
-:meth:`~repro.nn.rnn._RecurrentBase.export_weights` view on every call, so
-the runtime always serves the encoder's current parameters — fine-tune,
-then keep serving, no re-wrap needed.
+:meth:`~repro.nn.rnn._RecurrentBase.export_weights` view on every call —
+a cached :class:`~repro.runtime.kernels.WeightPlan` (pre-cast,
+pre-transposed, bias-folded) is rebuilt whenever the live parameter
+buffers change identity — so the runtime always serves the encoder's
+current parameters: fine-tune, then keep serving, no re-wrap needed.
+
+Two execution knobs make up the serving policy:
+
+- ``precision`` — ``"float32"`` (the default: half the bytes per GEMM,
+  roughly double the throughput, embedding drift vs the float64
+  reference property-bounded by the precision tests) or ``"float64"``
+  (bit-comparable to the Tensor path, the parity-test reference);
+- ``workers`` — independent length-buckets of a dataset pass run
+  concurrently on a thread pool (BLAS releases the GIL).  ``workers=1``
+  is the serial path; results are bit-identical for any worker count
+  because each planned batch is computed exactly as in the serial order.
 """
 
 from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 
@@ -18,6 +33,10 @@ from ..encoders.seq_encoder import RnnSeqEncoder
 from . import kernels
 
 __all__ = ["FusedEncoderRuntime"]
+
+#: Serving-side default of the precision policy (training defaults to
+#: float64 — see ``TrainConfig.precision``).
+DEFAULT_PRECISION = "float32"
 
 
 class FusedEncoderRuntime:
@@ -31,15 +50,31 @@ class FusedEncoderRuntime:
     read the batch-norm *running* statistics (eval semantics), so the
     runtime serves correctly even mid-training and never freezes the
     encoder's training-mode statistics as a side effect.
+
+    Parameters
+    ----------
+    encoder:
+        The :class:`~repro.encoders.RnnSeqEncoder` to serve.
+    precision:
+        Compute/state dtype policy: ``"float32"`` (default) or
+        ``"float64"`` (the parity reference).
+    workers:
+        Thread-pool width for bucket-parallel dataset passes (1 = serial,
+        any value is bit-identical to serial).
     """
 
-    def __init__(self, encoder):
+    def __init__(self, encoder, precision=DEFAULT_PRECISION, workers=1):
         if not isinstance(encoder, RnnSeqEncoder):
             raise TypeError(
                 "the fused runtime requires a recurrent encoder "
                 "(got %s)" % type(encoder).__name__
             )
         self.encoder = encoder
+        self.dtype = kernels.resolve_precision(precision)
+        self.precision = kernels.precision_name(self.dtype)
+        self.workers = max(1, int(workers))
+        self._weight_plan = None
+        self._encode_plan = None
 
     # ------------------------------------------------------------------
     @property
@@ -56,11 +91,32 @@ class FusedEncoderRuntime:
         """Fresh :class:`~repro.nn.CellWeights` view of the live parameters."""
         return self.encoder.rnn.export_weights()
 
+    def weight_plan(self):
+        """The cached :class:`~repro.runtime.kernels.WeightPlan`.
+
+        Rebuilt exactly when the live parameter buffers change identity
+        (optimisers rebind ``param.data``), so the runtime keeps serving
+        live weights with zero per-call repacking in the steady state.
+        """
+        weights = self.weights()
+        if not kernels.plan_matches(self._weight_plan, weights):
+            self._weight_plan = kernels.build_weight_plan(weights,
+                                                          self.precision)
+        return self._weight_plan
+
+    def encode_plan(self):
+        """The cached :class:`~repro.runtime.kernels.EncodePlan`."""
+        trx = self.encoder.trx_encoder
+        if not kernels.encode_plan_matches(self._encode_plan, trx):
+            self._encode_plan = kernels.build_encode_plan(trx, self.precision)
+        return self._encode_plan
+
     # ------------------------------------------------------------------
     def encode_events(self, batch, prev_times=None):
         """Event representations ``z_t`` as raw ``(B, T, D)`` numpy."""
         return kernels.encode_events(self.encoder.trx_encoder, batch,
-                                     prev_times=prev_times)
+                                     prev_times=prev_times,
+                                     plan=self.encode_plan())
 
     def forward(self, batch, initial=None, prev_times=None,
                 return_outputs=False):
@@ -71,7 +127,7 @@ class FusedEncoderRuntime:
         this is the state to persist for incremental updates.
         """
         events = self.encode_events(batch, prev_times=prev_times)
-        return kernels.rnn_forward(self.weights(), events,
+        return kernels.rnn_forward(self.weight_plan(), events,
                                    lengths=batch.lengths, initial=initial,
                                    return_outputs=return_outputs)
 
@@ -83,14 +139,15 @@ class FusedEncoderRuntime:
         """The learnt initial state broadcast to ``batch_size`` rows.
 
         Returns the same structure :meth:`forward` accepts as ``initial``:
-        a ``(B, H)`` buffer, or an ``(h, c)`` pair for LSTM.  Used to seed
-        rows of entities the serving layer has never seen, so known and
-        unknown entities can share one batched :meth:`advance` call.
+        a ``(B, H)`` buffer in the policy dtype, or an ``(h, c)`` pair for
+        LSTM.  Used to seed rows of entities the serving layer has never
+        seen, so known and unknown entities can share one batched
+        :meth:`advance` call.
         """
-        weights = self.weights()
-        hidden = kernels._initial(weights.init_state, batch_size)
+        plan = self.weight_plan()
+        hidden = np.tile(plan.init_state, (batch_size, 1))
         if self.is_lstm:
-            return hidden, kernels._initial(weights.init_cell, batch_size)
+            return hidden, np.tile(plan.init_cell, (batch_size, 1))
         return hidden
 
     def head(self, hidden):
@@ -104,23 +161,43 @@ class FusedEncoderRuntime:
         _, last = self.forward(batch)
         return self.head(self.hidden_of(last))
 
-    def run_dataset(self, dataset, batch_size=64):
+    def run_dataset(self, dataset, batch_size=64, workers=None):
         """Run the whole dataset under a length-sorted batch plan.
 
         Yields ``(indices, sequences, final_state)`` per planned batch —
         the single bulk loop shared by :func:`repro.core.embed_dataset`
-        and :meth:`repro.runtime.EmbeddingStore.bulk_load`.
+        and :meth:`repro.runtime.EmbeddingStore.bulk_load`.  With
+        ``workers > 1`` (default: the runtime's ``workers``) independent
+        buckets run concurrently; yield order and every result are
+        bit-identical to the serial pass.
         """
-        for chunk in plan_batches(dataset.lengths(), batch_size):
+        workers = self.workers if workers is None else max(1, int(workers))
+        chunks = plan_batches(dataset.lengths(), batch_size)
+
+        def run(chunk):
+            """Collate and embed one planned bucket."""
             sequences = [dataset.sequences[i] for i in chunk]
             batch = collate(sequences, dataset.schema)
             _, last = self.forward(batch)
-            yield chunk, sequences, last
+            return chunk, sequences, last
 
-    def embed_dataset(self, dataset, batch_size=64):
+        if workers == 1 or len(chunks) <= 1:
+            for chunk in chunks:
+                yield run(chunk)
+            return
+        # Build the plans once before fanning out: workers only read them.
+        self.weight_plan()
+        self.encode_plan()
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            for result in pool.map(run, chunks):
+                yield result
+
+    def embed_dataset(self, dataset, batch_size=64, workers=None):
         """Bulk embeddings ``(N, d)`` in dataset order."""
-        embeddings = np.zeros((len(dataset), self.output_dim))
-        for chunk, _, last in self.run_dataset(dataset, batch_size):
+        embeddings = np.zeros((len(dataset), self.output_dim),
+                              dtype=self.dtype)
+        for chunk, _, last in self.run_dataset(dataset, batch_size,
+                                               workers=workers):
             embeddings[chunk] = self.head(self.hidden_of(last))
         return embeddings
 

@@ -1,16 +1,37 @@
 """Fused, graph-free numpy kernels for the training and inference hot paths.
 
 The autograd :class:`~repro.nn.Tensor` builds one Python graph node per op
-and per timestep.  These kernels drop to raw float64 numpy instead:
+and per timestep.  These kernels drop to raw numpy instead:
 
 - the input projection of *all* timesteps is computed as one matmul
-  (``(B*T, D) @ (D, G*H)``) instead of T small ones;
+  (``(B*T, D) @ (D, G*H)``) instead of T small ones, and is stored
+  time-major (``(T, B, G*H)``) so every step reads a contiguous block;
 - per step only the hidden projection remains, written into preallocated
-  hidden buffers;
+  scratch buffers (no per-step allocations on the packed path);
 - padding is never computed when the batch is sorted by length (the batch
   planner's output): each step operates on the *active* row prefix only —
   the numpy analogue of cuDNN's packed sequences.  Unsorted batches fall
   back to mask-freezing, exactly like the Tensor path.
+
+**Precision policy.**  Every kernel consumes a :class:`WeightPlan` — the
+per-weight work (dtype cast, transposes, bias folding) precomputed once
+per ``CellWeights`` generation:
+
+- ``float64`` plans preserve the historical op order exactly (biases stay
+  per-step), so results match the Tensor path to float64 rounding
+  (< 1e-10) and gradients to < 1e-8 — the parity-test reference;
+- ``float32`` plans additionally fold the recurrent bias into the input
+  projection where algebraically exact (all LSTM gates; the GRU r/z
+  gates — the n-gate bias must stay inside the reset multiply), halving
+  bytes per GEMM for ~2x throughput at a property-bounded drift vs the
+  float64 reference.
+
+A raw :class:`~repro.nn.CellWeights` passed where a plan is expected is
+promoted to a float64 plan on the fly (:func:`as_plan`), so direct kernel
+callers keep reference semantics.  Plans hold *references* to their
+source parameter buffers; :func:`plan_matches` detects optimiser steps
+(optimisers rebind ``param.data``) so cached plans are rebuilt exactly
+when the weights change.
 
 Two kernel families share those tricks:
 
@@ -18,33 +39,37 @@ Two kernel families share those tricks:
   :func:`rnn_forward` and :func:`encode_events` — forward only, nothing
   retained;
 - **training**: :func:`gru_forward_train` / :func:`lstm_forward_train`
-  stash the per-step activations a backward pass needs, and
-  :func:`gru_backward` / :func:`lstm_backward` run hand-derived BPTT over
-  that cache — loss gradient in, weight gradients out, no graph ever
-  built.  Per-gate input gradients accumulate into one ``(B*T, G*H)``
-  buffer so the weight_ih/bias_ih/input gradients are three fused matmuls
-  at the end, mirroring the fused input projection of the forward.
+  stash the per-step activations a backward pass needs (time-major, in
+  the plan dtype), and :func:`gru_backward` / :func:`lstm_backward` run
+  hand-derived BPTT over that cache — loss gradient in, weight gradients
+  out, no graph ever built.  Per-gate input gradients accumulate into one
+  time-major buffer so the weight_ih/bias_ih/input gradients are three
+  fused matmuls at the end, mirroring the fused input projection of the
+  forward.
 
-Every kernel follows the same op order and formulas as the differentiable
-modules, so outputs agree with the Tensor path to float64 rounding
-(< 1e-10) and gradients to < 1e-8 — asserted by
-``tests/runtime/test_fused_equivalence.py`` and
-``tests/runtime/test_fused_training.py``.
-
-Weight layout is *not* re-declared here: kernels consume the
+Weight layout is *not* re-declared here: plans are built from the
 :class:`~repro.nn.CellWeights` view exported by the ``nn.rnn`` modules.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 __all__ = [
+    "PRECISIONS",
+    "resolve_precision",
     "sigmoid",
     "l2_normalize_rows",
     "l2_normalize_rows_backward",
+    "WeightPlan",
+    "build_weight_plan",
+    "plan_matches",
+    "as_plan",
+    "EncodePlan",
+    "build_encode_plan",
+    "encode_plan_matches",
     "rnn_forward",
     "gru_forward",
     "lstm_forward",
@@ -59,10 +84,66 @@ __all__ = [
     "lstm_backward",
 ]
 
+#: The two supported compute dtypes of the precision policy.
+PRECISIONS = {"float32": np.float32, "float64": np.float64}
 
-def sigmoid(x):
-    """Logistic function, same formula as ``Tensor.sigmoid``."""
-    return 1.0 / (1.0 + np.exp(-x))
+#: ``|x|`` beyond which the logistic saturates exactly in both dtypes
+#: (``1 + exp(-60)`` rounds to ``1.0`` even in float64), so clipping the
+#: exponent changes nothing representable while preventing ``np.exp``
+#: overflow warnings in float32.
+_SIGMOID_CLIP = 60.0
+
+
+def resolve_precision(precision):
+    """Canonicalise a precision knob to a numpy dtype.
+
+    Accepts the policy strings ``"float32"``/``"float64"`` (or the
+    corresponding numpy dtypes); anything else raises ``ValueError``.
+    """
+    if isinstance(precision, str):
+        try:
+            return np.dtype(PRECISIONS[precision])
+        except KeyError:
+            raise ValueError(
+                "unknown precision %r (use 'float32' or 'float64')"
+                % precision
+            ) from None
+    dtype = np.dtype(precision)
+    if dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
+        raise ValueError(
+            "unknown precision %r (use 'float32' or 'float64')" % precision
+        )
+    return dtype
+
+
+def precision_name(dtype):
+    """The policy string of a resolved dtype (``"float32"``/``"float64"``)."""
+    return "float32" if np.dtype(dtype) == np.dtype(np.float32) else "float64"
+
+
+def sigmoid(x, out=None):
+    """Numerically-safe logistic function.
+
+    The exponent is clipped to ``±60`` before ``exp``: past that point
+    ``1 + exp(-|x|)`` already rounds to ``1.0`` in float64 (let alone
+    float32), so the clip is value-preserving while keeping float32
+    forwards free of overflow ``RuntimeWarning``s on saturated gates.
+    With ``out`` the computation runs fully in-place (``out is x`` is
+    allowed).
+    """
+    # Negate first, then cap the exponent from above only: exp of a
+    # large *negative* argument underflows silently to 0.0 (numpy's
+    # default underflow handling), which already yields the exact
+    # result 1.0 downstream — so a single-sided cap gives bit-identical
+    # values to a symmetric clip with one fewer ufunc dispatch.  This
+    # runs once per timestep on the serving hot path, where np.clip's
+    # python wrapper was measurable.
+    out = np.negative(x, out=out)
+    np.minimum(out, _SIGMOID_CLIP, out=out)
+    np.exp(out, out=out)
+    out += 1.0
+    np.reciprocal(out, out=out)
+    return out
 
 
 def l2_normalize_rows(x, eps=1e-12):
@@ -85,37 +166,229 @@ def l2_normalize_rows_backward(x, grad, eps=1e-12):
     return grad / norm - x * (dot * (sq > eps) / norm**3)
 
 
-def _input_gates(weights, x):
-    """Fused input projection of all timesteps: ``(B, T, D) -> (B, T, G*H)``."""
+# ----------------------------------------------------------------------
+# weight plans: per-generation precompute (cast, transpose, bias folding)
+# ----------------------------------------------------------------------
+
+@dataclass
+class WeightPlan:
+    """Packed, dtype-cast view of one :class:`~repro.nn.CellWeights`.
+
+    Built once per weight generation by :func:`build_weight_plan`; every
+    kernel call then runs off the pre-transposed, pre-cast buffers.  The
+    per-gate blocks stay stacked, so each timestep is a single recurrent
+    GEMM (``(B, H) @ (H, G*H)``) instead of slice-and-dispatch.
+
+    ``sources`` keeps references to the live parameter buffers the plan
+    was built from; :func:`plan_matches` compares identities, which is
+    exactly the granularity at which the optimisers invalidate weights
+    (they rebind ``param.data`` rather than writing in place).
+
+    Bias handling is dtype-dependent (see the module docstring):
+    ``bias_step`` is the full per-step recurrent bias for float64 plans
+    (None when folded), ``b_hn`` is the GRU n-gate recurrent bias kept
+    per-step under float32 folding (None otherwise).
+    """
+
+    kind: str                 # "gru" | "lstm"
+    hidden_size: int
+    dtype: np.dtype
+    w_ih_t: np.ndarray        # (D, G*H) contiguous, policy dtype
+    w_hh_t: np.ndarray        # (H, G*H) contiguous, policy dtype
+    bias_x: np.ndarray        # (G*H,) input-side bias (+ folded parts)
+    bias_step: np.ndarray     # (G*H,) per-step recurrent bias, or None
+    b_hn: np.ndarray          # (H,) GRU n-gate recurrent bias, or None
+    init_state: np.ndarray    # (H,) policy dtype
+    init_cell: np.ndarray = None   # (H,) policy dtype, LSTM only
+    sources: tuple = field(default=(), repr=False)
+
+    @property
+    def input_size(self):
+        """Width ``D`` of the event representations the plan consumes."""
+        return self.w_ih_t.shape[0]
+
+    @property
+    def num_gates(self):
+        """Gate count ``G`` of the cell (3 for GRU, 4 for LSTM)."""
+        return self.w_ih_t.shape[1] // self.hidden_size
+
+
+def _weight_sources(weights):
+    """The live arrays whose identities define a weight generation."""
+    return (weights.weight_ih, weights.weight_hh, weights.bias_ih,
+            weights.bias_hh, weights.init_state, weights.init_cell)
+
+
+def build_weight_plan(weights, precision="float64"):
+    """Precompute the per-weight work of the kernels for one generation.
+
+    ``float64`` keeps the recurrent bias per-step (historical op order,
+    bit-comparable to the Tensor path); ``float32`` folds it into the
+    input projection where exact (everything except the GRU n-gate).
+    """
+    dtype = resolve_precision(precision)
+    size = weights.hidden_size
+    fold = dtype == np.dtype(np.float32)
+    bias_x = np.asarray(weights.bias_ih, dtype=dtype)
+    bias_step = np.asarray(weights.bias_hh, dtype=dtype)
+    b_hn = None
+    if fold:
+        bias_x = bias_x.copy()
+        if weights.kind == "gru":
+            bias_x[:2 * size] += bias_step[:2 * size]
+            b_hn = np.ascontiguousarray(bias_step[2 * size:])
+        else:
+            bias_x += bias_step
+        bias_step = None
+    return WeightPlan(
+        kind=weights.kind,
+        hidden_size=size,
+        dtype=dtype,
+        w_ih_t=np.ascontiguousarray(weights.weight_ih.T, dtype=dtype),
+        w_hh_t=np.ascontiguousarray(weights.weight_hh.T, dtype=dtype),
+        bias_x=bias_x,
+        bias_step=bias_step,
+        b_hn=b_hn,
+        init_state=np.ascontiguousarray(weights.init_state, dtype=dtype),
+        init_cell=(None if weights.init_cell is None else
+                   np.ascontiguousarray(weights.init_cell, dtype=dtype)),
+        sources=_weight_sources(weights),
+    )
+
+
+def plan_matches(plan, weights):
+    """Whether ``plan`` was built from exactly these live weight buffers."""
+    if plan is None:
+        return False
+    current = _weight_sources(weights)
+    if len(plan.sources) != len(current):
+        return False
+    return all(a is b for a, b in zip(plan.sources, current))
+
+
+def as_plan(weights, precision=None):
+    """Promote a :class:`~repro.nn.CellWeights` to a plan (pass plans through).
+
+    Raw weights default to a **float64** plan — direct kernel callers
+    (the parity tests) keep reference semantics without opting in to a
+    precision policy.
+    """
+    if isinstance(weights, WeightPlan):
+        return weights
+    return build_weight_plan(weights, precision or "float64")
+
+
+# ----------------------------------------------------------------------
+# encode plans: pre-cast embedding tables + batch-norm affine
+# ----------------------------------------------------------------------
+
+@dataclass
+class EncodePlan:
+    """Dtype-cast view of a ``TrxEncoder``'s lookup tables.
+
+    Under float64 the tables *are* the live parameter buffers (no copy,
+    bit-identical encoding); under float32 they are pre-cast copies so
+    the big per-event gathers move half the bytes.  Invalidated by
+    source-identity checks like :class:`WeightPlan`.
+    """
+
+    dtype: np.dtype
+    tables: dict                   # field name -> (V, d) table, policy dtype
+    sources: tuple = field(default=(), repr=False)
+
+
+def _encode_sources(trx_encoder):
+    parts = [trx_encoder.embeddings[name].weight.data
+             for name in trx_encoder.schema.categorical]
+    return tuple(parts)
+
+
+def build_encode_plan(trx_encoder, precision="float64"):
+    """Pre-cast the categorical embedding tables to the policy dtype."""
+    dtype = resolve_precision(precision)
+    tables = {}
+    for name in trx_encoder.schema.categorical:
+        table = trx_encoder.embeddings[name].weight.data
+        tables[name] = (table if table.dtype == dtype
+                        else np.ascontiguousarray(table, dtype=dtype))
+    return EncodePlan(dtype=dtype, tables=tables,
+                      sources=_encode_sources(trx_encoder))
+
+
+def encode_plan_matches(plan, trx_encoder):
+    """Whether ``plan`` still mirrors the encoder's live tables."""
+    if plan is None:
+        return False
+    current = _encode_sources(trx_encoder)
+    if len(plan.sources) != len(current):
+        return False
+    return all(a is b for a, b in zip(plan.sources, current))
+
+
+# ----------------------------------------------------------------------
+# shared forward plumbing
+# ----------------------------------------------------------------------
+
+def _plan_input_gates(plan, x):
+    """Fused input projection, time-major: ``(B, T, D) -> (T, B, G*H)``.
+
+    One GEMM over all timesteps against the pre-transposed contiguous
+    ``w_ih_t``, bias added in place, then laid out time-major so each
+    step of the recurrence reads one contiguous ``(B, G*H)`` block.
+    """
     batch, steps, dim = x.shape
-    flat = x.reshape(batch * steps, dim) @ weights.weight_ih.T + weights.bias_ih
-    return flat.reshape(batch, steps, -1)
+    # Transpose the *input* to time-major before the GEMM rather than
+    # the projected gates after it: the copy moves (T, B, D) elements
+    # instead of (T, B, G*H) — D is a fraction of G*H — and the GEMM
+    # then writes the time-major layout directly.  Each output row is
+    # the same dot product either way, so the float64 parity contract
+    # is unaffected.
+    xt = x.swapaxes(0, 1)
+    if xt.dtype != plan.dtype:
+        xt = xt.astype(plan.dtype, order="C")
+    else:
+        xt = np.ascontiguousarray(xt)
+    gates = xt.reshape(steps * batch, dim) @ plan.w_ih_t
+    gates += plan.bias_x
+    return gates.reshape(steps, batch, -1)
 
 
-def _initial(vector, batch):
+def _initial(vector, batch, dtype=np.float64):
     """Broadcast a learnt ``(H,)`` initial state to a ``(B, H)`` buffer."""
-    return np.tile(np.asarray(vector, dtype=np.float64), (batch, 1))
+    return np.tile(np.asarray(vector, dtype=dtype), (batch, 1))
+
+
+def _initial_hidden(plan, batch, initial):
+    """The caller's initial state (cast+copied) or the learnt c_0."""
+    if initial is not None:
+        return np.array(initial, dtype=plan.dtype, copy=True)
+    return np.tile(plan.init_state, (batch, 1))
 
 
 def _active_counts(lengths, steps):
     """Per-step active row count for a batch sorted longest-first.
 
     Returns None when the batch is not sorted by non-increasing length
-    (the caller then uses the mask-freezing path).
+    (the caller then uses the mask-freezing path).  Computed via
+    ``searchsorted`` over the (reversed, ascending) lengths — O(T log B)
+    with no B×T intermediate.
     """
     if lengths is None:
         return None
     lengths = np.asarray(lengths)
     if len(lengths) > 1 and np.any(np.diff(lengths) > 0):
         return None
-    return np.count_nonzero(
-        lengths[:, None] > np.arange(steps)[None, :], axis=0
-    )
+    return len(lengths) - np.searchsorted(
+        lengths[::-1], np.arange(steps), side="right")
 
 
 def _mask_from_lengths(lengths, steps):
     return np.arange(steps)[None, :] < np.asarray(lengths)[:, None]
 
+
+# ----------------------------------------------------------------------
+# inference forwards
+# ----------------------------------------------------------------------
 
 def gru_forward(weights, x, lengths=None, mask=None, initial=None,
                 return_outputs=False):
@@ -124,9 +397,10 @@ def gru_forward(weights, x, lengths=None, mask=None, initial=None,
     Parameters
     ----------
     weights:
-        A :class:`~repro.nn.CellWeights` with ``kind == "gru"``.
+        A :class:`WeightPlan` (or a raw :class:`~repro.nn.CellWeights`,
+        promoted to a float64 plan).
     x:
-        Event representations ``(B, T, D)`` (raw numpy).
+        Event representations ``(B, T, D)`` (raw numpy, any float dtype).
     lengths:
         True sequence lengths ``(B,)``.  When sorted longest-first (the
         batch planner's output) each step runs on the active prefix only.
@@ -140,42 +414,78 @@ def gru_forward(weights, x, lengths=None, mask=None, initial=None,
 
     Returns
     -------
-    (outputs, last): outputs is None unless requested; last is ``(B, H)``,
-    the state after each sequence's final real event.
+    (outputs, last): outputs is None unless requested; last is ``(B, H)``
+    in the plan dtype, the state after each sequence's final real event.
     """
+    plan = as_plan(weights)
+    dt = plan.dtype
     batch, steps, _ = x.shape
-    size = weights.hidden_size
-    hidden = (np.array(initial, dtype=np.float64, copy=True)
-              if initial is not None else _initial(weights.init_state, batch))
-    gates_x = _input_gates(weights, x)
-    outputs = np.empty((batch, steps, size)) if return_outputs else None
-    w_hh_t = weights.weight_hh.T
-    bias_hh = weights.bias_hh
+    size = plan.hidden_size
+    two = 2 * size
+    hidden = _initial_hidden(plan, batch, initial)
+    gates_x = _plan_input_gates(plan, x)
+    outputs = (np.empty((batch, steps, size), dtype=dt)
+               if return_outputs else None)
     counts = _active_counts(lengths, steps)
     if counts is None and lengths is not None and mask is None:
         mask = _mask_from_lengths(lengths, steps)
+    gh = np.empty((batch, 3 * size), dtype=dt)
+    rz = np.empty((batch, two), dtype=dt)
+    new_h = np.empty((batch, size), dtype=dt)
+    tmp = np.empty((batch, size), dtype=dt)
+    # Hoisted loop invariants: attribute loads and per-plan branches are
+    # measurable at one python-level iteration per timestep.
+    w_hh_t = plan.w_hh_t
+    bias_step = plan.bias_step
+    b_hn = plan.b_hn
+    count_list = None if counts is None else counts.tolist()
+    # float64 keeps the seed's exact h-update op order (the 1e-10 parity
+    # contract); float32 uses the algebraically-equal 3-op form
+    # ``h + z*(h_prev - h_cand)`` — one fewer dispatch per step, and the
+    # float32 path is drift-bounded rather than order-pinned.
+    fast_update = dt == np.dtype(np.float32)
     for t in range(steps):
-        active = batch if counts is None else int(counts[t])
+        active = batch if count_list is None else count_list[t]
         if active == 0:
             if outputs is not None:
                 outputs[:, t:] = hidden[:, None, :]
             break
         h_act = hidden[:active]
-        gx = gates_x[:active, t]
-        gh = h_act @ w_hh_t + bias_hh
+        gx = gates_x[t, :active]
+        gh_a = gh[:active]
+        np.dot(h_act, w_hh_t, out=gh_a)
+        if bias_step is not None:
+            gh_a += bias_step
         # One sigmoid over the contiguous (r, z) block — identical
         # elementwise values, half the ufunc dispatches.
-        gates = sigmoid(gx[:, :2 * size] + gh[:, :2 * size])
-        reset = gates[:, :size]
-        update = gates[:, size:]
-        candidate = np.tanh(gx[:, 2 * size:] + reset * gh[:, 2 * size:])
-        new_hidden = (1.0 - update) * candidate + update * h_act
-        if counts is None and mask is not None:
-            hidden = np.where(mask[:, t:t + 1], new_hidden, hidden)
-        elif active == batch:
-            hidden = new_hidden
+        g = rz[:active]
+        np.add(gx[:, :two], gh_a[:, :two], out=g)
+        sigmoid(g, out=g)
+        reset = g[:, :size]
+        update = g[:, size:]
+        ghn = gh_a[:, two:]
+        if b_hn is not None:
+            ghn += b_hn
+        ghn *= reset
+        ghn += gx[:, two:]
+        candidate = np.tanh(ghn, out=ghn)
+        out_h = new_h[:active]
+        if fast_update:
+            # new_h = candidate + update * (h_prev - candidate)
+            np.subtract(h_act, candidate, out=out_h)
+            out_h *= update
+            out_h += candidate
         else:
-            hidden[:active] = new_hidden
+            # new_h = (1 - update) * candidate + update * h_prev
+            np.subtract(1.0, update, out=out_h)
+            out_h *= candidate
+            t_a = tmp[:active]
+            np.multiply(update, h_act, out=t_a)
+            out_h += t_a
+        if count_list is None and mask is not None:
+            np.copyto(hidden, out_h, where=mask[:, t:t + 1])
+        else:
+            hidden[:active] = out_h
         if outputs is not None:
             outputs[:, t] = hidden
     return outputs, hidden
@@ -187,21 +497,30 @@ def lstm_forward(weights, x, lengths=None, mask=None, initial=None,
 
     Same contract as :func:`gru_forward`.
     """
+    plan = as_plan(weights)
+    dt = plan.dtype
     batch, steps, _ = x.shape
-    size = weights.hidden_size
+    size = plan.hidden_size
+    two, three = 2 * size, 3 * size
     if initial is not None:
-        hidden = np.array(initial[0], dtype=np.float64, copy=True)
-        cell = np.array(initial[1], dtype=np.float64, copy=True)
+        hidden = np.array(initial[0], dtype=dt, copy=True)
+        cell = np.array(initial[1], dtype=dt, copy=True)
     else:
-        hidden = _initial(weights.init_state, batch)
-        cell = _initial(weights.init_cell, batch)
-    gates_x = _input_gates(weights, x)
-    outputs = np.empty((batch, steps, size)) if return_outputs else None
-    w_hh_t = weights.weight_hh.T
-    bias_hh = weights.bias_hh
+        hidden = np.tile(plan.init_state, (batch, 1))
+        cell = np.tile(plan.init_cell, (batch, 1))
+    gates_x = _plan_input_gates(plan, x)
+    outputs = (np.empty((batch, steps, size), dtype=dt)
+               if return_outputs else None)
     counts = _active_counts(lengths, steps)
     if counts is None and lengths is not None and mask is None:
         mask = _mask_from_lengths(lengths, steps)
+    gh = np.empty((batch, 4 * size), dtype=dt)
+    sig = np.empty((batch, two), dtype=dt)
+    cand = np.empty((batch, size), dtype=dt)
+    out_gate_buf = np.empty((batch, size), dtype=dt)
+    new_c = np.empty((batch, size), dtype=dt)
+    new_h = np.empty((batch, size), dtype=dt)
+    tmp = np.empty((batch, size), dtype=dt)
     for t in range(steps):
         active = batch if counts is None else int(counts[t])
         if active == 0:
@@ -210,26 +529,40 @@ def lstm_forward(weights, x, lengths=None, mask=None, initial=None,
             break
         h_act = hidden[:active]
         c_act = cell[:active]
-        gx = gates_x[:active, t]
-        gh = h_act @ w_hh_t + bias_hh
+        gx = gates_x[t, :active]
+        gh_a = gh[:active]
+        np.dot(h_act, plan.w_hh_t, out=gh_a)
+        if plan.bias_step is not None:
+            gh_a += plan.bias_step
         # One sigmoid over the contiguous (i, f) block — identical
         # elementwise values, fewer ufunc dispatches.
-        gates = sigmoid(gx[:, :2 * size] + gh[:, :2 * size])
-        in_gate = gates[:, :size]
-        forget = gates[:, size:]
-        candidate = np.tanh(gx[:, 2 * size:3 * size] + gh[:, 2 * size:3 * size])
-        out_gate = sigmoid(gx[:, 3 * size:] + gh[:, 3 * size:])
-        new_cell = forget * c_act + in_gate * candidate
-        new_hidden = out_gate * np.tanh(new_cell)
+        g = sig[:active]
+        np.add(gx[:, :two], gh_a[:, :two], out=g)
+        sigmoid(g, out=g)
+        in_gate = g[:, :size]
+        forget = g[:, size:]
+        cd = cand[:active]
+        np.add(gx[:, two:three], gh_a[:, two:three], out=cd)
+        np.tanh(cd, out=cd)
+        og = out_gate_buf[:active]
+        np.add(gx[:, three:], gh_a[:, three:], out=og)
+        sigmoid(og, out=og)
+        # new_c = forget * c_prev + in * candidate
+        nc = new_c[:active]
+        np.multiply(forget, c_act, out=nc)
+        t_a = tmp[:active]
+        np.multiply(in_gate, cd, out=t_a)
+        nc += t_a
+        nh = new_h[:active]
+        np.tanh(nc, out=t_a)
+        np.multiply(og, t_a, out=nh)
         if counts is None and mask is not None:
             step_mask = mask[:, t:t + 1]
-            hidden = np.where(step_mask, new_hidden, hidden)
-            cell = np.where(step_mask, new_cell, cell)
-        elif active == batch:
-            hidden, cell = new_hidden, new_cell
+            np.copyto(hidden, nh, where=step_mask)
+            np.copyto(cell, nc, where=step_mask)
         else:
-            hidden[:active] = new_hidden
-            cell[:active] = new_cell
+            hidden[:active] = nh
+            cell[:active] = nc
         if outputs is not None:
             outputs[:, t] = hidden
     return outputs, (hidden, cell)
@@ -256,33 +589,44 @@ class RnnTrainCache:
     """Per-step activations stashed by a training forward pass.
 
     Produced by :func:`gru_forward_train` / :func:`lstm_forward_train` and
-    consumed exactly once by the matching backward kernel.  Rows beyond a
-    step's active count hold stale values in ``gates``/``gate_hidden`` —
-    the backward kernels never read them.
+    consumed exactly once by the matching backward kernel.  Per-step
+    arrays are **time-major** (``(T, B, ·)``) so both directions of BPTT
+    touch contiguous blocks; rows beyond a step's active count hold stale
+    values in ``gates``/``gate_hidden`` — the backward kernels never read
+    them.  Everything is stored in the plan dtype.
     """
 
     kind: str                # "gru" | "lstm"
-    x: np.ndarray            # (B, T, D) event representations
-    gates: np.ndarray        # (B, T, G*H): r,z,n (GRU) or i,f,g,o (LSTM)
-    hidden_seq: np.ndarray   # (B, T, H) post-step hidden states
+    plan: WeightPlan         # the plan the forward ran with
+    x: np.ndarray            # (B, T, D) event representations, plan dtype
+    gates: np.ndarray        # (T, B, G*H): r,z,n (GRU) or i,f,g,o (LSTM)
+    hidden_seq: np.ndarray   # (T, B, H) post-step hidden states
     hidden_0: np.ndarray     # (B, H) initial hidden state
     counts: np.ndarray       # (T,) active rows per step, or None
     mask: np.ndarray         # (B, T) boolean, or None (full batch)
     last: object             # (B, H) or (h, c) — the forward result
-    gate_hidden: np.ndarray = None  # (B, T, H) GRU only: gh_n (for dr)
-    cell_seq: np.ndarray = None     # (B, T, H) LSTM only: post-step cells
+    gate_hidden: np.ndarray = None  # (T, B, H) GRU only: gh_n (for dr)
+    cell_seq: np.ndarray = None     # (T, B, H) LSTM only: post-step cells
     cell_0: np.ndarray = None       # (B, H) LSTM only: initial cell
-    tanh_cell: np.ndarray = None    # (B, T, H) LSTM only: tanh(c_t)
+    tanh_cell: np.ndarray = None    # (T, B, H) LSTM only: tanh(c_t)
+
+    @property
+    def states(self):
+        """Per-step hidden states in batch-major ``(B, T, H)`` layout."""
+        return self.hidden_seq.transpose(1, 0, 2)
 
 
-def _train_setup(weights, x, lengths, mask, initial):
-    """Shared preamble of the training forwards: buffers + step schedule."""
+def _train_setup(weights, x, lengths, mask):
+    """Shared preamble of the training forwards: plan + step schedule."""
+    plan = as_plan(weights)
     batch, steps, _ = x.shape
-    gates_x = _input_gates(weights, x)
+    if x.dtype != plan.dtype:
+        x = x.astype(plan.dtype)
+    gates_x = _plan_input_gates(plan, x)
     counts = _active_counts(lengths, steps)
     if counts is None and lengths is not None and mask is None:
         mask = _mask_from_lengths(lengths, steps)
-    return batch, steps, gates_x, counts, mask
+    return plan, x, batch, steps, gates_x, counts, mask
 
 
 def gru_forward_train(weights, x, lengths=None, mask=None, initial=None):
@@ -293,44 +637,82 @@ def gru_forward_train(weights, x, lengths=None, mask=None, initial=None):
     returns an :class:`RnnTrainCache` whose ``last`` field carries the
     final ``(B, H)`` state.
     """
-    batch, steps, gates_x, counts, mask = _train_setup(
-        weights, x, lengths, mask, initial)
-    size = weights.hidden_size
-    hidden = (np.array(initial, dtype=np.float64, copy=True)
-              if initial is not None else _initial(weights.init_state, batch))
+    plan, x, batch, steps, gates_x, counts, mask = _train_setup(
+        weights, x, lengths, mask)
+    dt = plan.dtype
+    size = plan.hidden_size
+    two = 2 * size
+    hidden = _initial_hidden(plan, batch, initial)
     hidden_0 = hidden.copy()
-    gates = np.empty((batch, steps, 3 * size))
-    gate_hidden = np.empty((batch, steps, size))
-    hidden_seq = np.empty((batch, steps, size))
-    w_hh_t = weights.weight_hh.T
-    bias_hh = weights.bias_hh
+    gates = np.empty((steps, batch, 3 * size), dtype=dt)
+    gate_hidden = np.empty((steps, batch, size), dtype=dt)
+    hidden_seq = np.empty((steps, batch, size), dtype=dt)
+    gh = np.empty((batch, 3 * size), dtype=dt)
+    new_h = np.empty((batch, size), dtype=dt)
+    tmp = np.empty((batch, size), dtype=dt)
+    # Hoisted loop invariants (see gru_forward): the same rationale, the
+    # loop runs once per timestep on the training hot path.
+    w_hh_t = plan.w_hh_t
+    bias_step = plan.bias_step
+    b_hn = plan.b_hn
+    count_list = None if counts is None else counts.tolist()
+    fast_update = dt == np.dtype(np.float32)
     for t in range(steps):
-        active = batch if counts is None else int(counts[t])
+        active = batch if count_list is None else count_list[t]
         if active == 0:
-            hidden_seq[:, t:] = hidden[:, None, :]
+            hidden_seq[t:] = hidden[None, :, :]
             break
         h_act = hidden[:active]
-        gx = gates_x[:active, t]
-        gh = h_act @ w_hh_t + bias_hh
-        gate_block = sigmoid(gx[:, :2 * size] + gh[:, :2 * size])
+        gx = gates_x[t, :active]
+        gh_a = gh[:active]
+        np.dot(h_act, w_hh_t, out=gh_a)
+        if bias_step is not None:
+            gh_a += bias_step
+        gate_block = gates[t, :active]
+        np.add(gx[:, :two], gh_a[:, :two], out=gate_block[:, :two])
+        sigmoid(gate_block[:, :two], out=gate_block[:, :two])
         reset = gate_block[:, :size]
-        update = gate_block[:, size:]
-        gh_n = gh[:, 2 * size:]
-        candidate = np.tanh(gx[:, 2 * size:] + reset * gh_n)
-        gates[:active, t, :2 * size] = gate_block
-        gates[:active, t, 2 * size:] = candidate
-        gate_hidden[:active, t] = gh_n
-        new_hidden = (1.0 - update) * candidate + update * h_act
-        if counts is None and mask is not None:
-            hidden = np.where(mask[:, t:t + 1], new_hidden, hidden)
-        elif active == batch:
-            hidden = new_hidden
+        update = gate_block[:, size:two]
+        ghn = gh_a[:, two:]
+        if b_hn is not None:
+            ghn += b_hn
+        gate_hidden[t, :active] = ghn
+        candidate = gate_block[:, two:]
+        np.multiply(ghn, reset, out=candidate)
+        candidate += gx[:, two:]
+        np.tanh(candidate, out=candidate)
+        if count_list is None and mask is not None:
+            # Mask-freezing path: stage in scratch, then masked-copy.
+            out_h = new_h[:active]
         else:
-            hidden[:active] = new_hidden
-        hidden_seq[:, t] = hidden
-    return RnnTrainCache(kind="gru", x=x, gates=gates, hidden_seq=hidden_seq,
-                         hidden_0=hidden_0, counts=counts, mask=mask,
-                         last=hidden, gate_hidden=gate_hidden)
+            # Packed path: write the update straight into the cached
+            # step row — no staging copy, frozen rows carried below.
+            out_h = hidden_seq[t, :active]
+        if fast_update:
+            # new_h = candidate + update * (h_prev - candidate): same
+            # 3-op form as the float32 inference path (drift-bounded);
+            # the backward's analytic formulas are order-independent.
+            np.subtract(h_act, candidate, out=out_h)
+            out_h *= update
+            out_h += candidate
+        else:
+            # float64 keeps the seed's exact op order (1e-8 parity).
+            np.subtract(1.0, update, out=out_h)
+            out_h *= candidate
+            t_a = tmp[:active]
+            np.multiply(update, h_act, out=t_a)
+            out_h += t_a
+        if count_list is None and mask is not None:
+            np.copyto(hidden, out_h, where=mask[:, t:t + 1])
+            hidden_seq[t] = hidden
+        else:
+            if active < batch:
+                hidden_seq[t, active:] = hidden[active:]
+            hidden = hidden_seq[t]
+    return RnnTrainCache(kind="gru", plan=plan, x=x, gates=gates,
+                         hidden_seq=hidden_seq, hidden_0=hidden_0,
+                         counts=counts, mask=mask, last=hidden,
+                         gate_hidden=gate_hidden)
 
 
 def lstm_forward_train(weights, x, lengths=None, mask=None, initial=None):
@@ -339,59 +721,73 @@ def lstm_forward_train(weights, x, lengths=None, mask=None, initial=None):
     ``initial`` and ``cache.last`` are ``(h, c)`` pairs; otherwise the
     contract of :func:`gru_forward_train`.
     """
-    batch, steps, gates_x, counts, mask = _train_setup(
-        weights, x, lengths, mask, initial)
-    size = weights.hidden_size
+    plan, x, batch, steps, gates_x, counts, mask = _train_setup(
+        weights, x, lengths, mask)
+    dt = plan.dtype
+    size = plan.hidden_size
+    two, three = 2 * size, 3 * size
     if initial is not None:
-        hidden = np.array(initial[0], dtype=np.float64, copy=True)
-        cell = np.array(initial[1], dtype=np.float64, copy=True)
+        hidden = np.array(initial[0], dtype=dt, copy=True)
+        cell = np.array(initial[1], dtype=dt, copy=True)
     else:
-        hidden = _initial(weights.init_state, batch)
-        cell = _initial(weights.init_cell, batch)
+        hidden = np.tile(plan.init_state, (batch, 1))
+        cell = np.tile(plan.init_cell, (batch, 1))
     hidden_0 = hidden.copy()
     cell_0 = cell.copy()
-    gates = np.empty((batch, steps, 4 * size))
-    hidden_seq = np.empty((batch, steps, size))
-    cell_seq = np.empty((batch, steps, size))
-    tanh_cell = np.empty((batch, steps, size))
-    w_hh_t = weights.weight_hh.T
-    bias_hh = weights.bias_hh
+    gates = np.empty((steps, batch, 4 * size), dtype=dt)
+    hidden_seq = np.empty((steps, batch, size), dtype=dt)
+    cell_seq = np.empty((steps, batch, size), dtype=dt)
+    tanh_cell = np.empty((steps, batch, size), dtype=dt)
+    gh = np.empty((batch, 4 * size), dtype=dt)
+    new_c = np.empty((batch, size), dtype=dt)
+    new_h = np.empty((batch, size), dtype=dt)
+    tmp = np.empty((batch, size), dtype=dt)
     for t in range(steps):
         active = batch if counts is None else int(counts[t])
         if active == 0:
-            hidden_seq[:, t:] = hidden[:, None, :]
-            cell_seq[:, t:] = cell[:, None, :]
+            hidden_seq[t:] = hidden[None, :, :]
+            cell_seq[t:] = cell[None, :, :]
             break
         h_act = hidden[:active]
         c_act = cell[:active]
-        gx = gates_x[:active, t]
-        gh = h_act @ w_hh_t + bias_hh
-        gate_block = sigmoid(gx[:, :2 * size] + gh[:, :2 * size])
+        gx = gates_x[t, :active]
+        gh_a = gh[:active]
+        np.dot(h_act, plan.w_hh_t, out=gh_a)
+        if plan.bias_step is not None:
+            gh_a += plan.bias_step
+        gate_block = gates[t, :active]
+        np.add(gx[:, :two], gh_a[:, :two], out=gate_block[:, :two])
+        sigmoid(gate_block[:, :two], out=gate_block[:, :two])
         in_gate = gate_block[:, :size]
-        forget = gate_block[:, size:]
-        candidate = np.tanh(gx[:, 2 * size:3 * size] + gh[:, 2 * size:3 * size])
-        out_gate = sigmoid(gx[:, 3 * size:] + gh[:, 3 * size:])
-        gates[:active, t, :2 * size] = gate_block
-        gates[:active, t, 2 * size:3 * size] = candidate
-        gates[:active, t, 3 * size:] = out_gate
-        new_cell = forget * c_act + in_gate * candidate
-        tanh_new = np.tanh(new_cell)
-        new_hidden = out_gate * tanh_new
-        tanh_cell[:active, t] = tanh_new
+        forget = gate_block[:, size:two]
+        candidate = gate_block[:, two:three]
+        np.add(gx[:, two:three], gh_a[:, two:three], out=candidate)
+        np.tanh(candidate, out=candidate)
+        out_gate = gate_block[:, three:]
+        np.add(gx[:, three:], gh_a[:, three:], out=out_gate)
+        sigmoid(out_gate, out=out_gate)
+        nc = new_c[:active]
+        np.multiply(forget, c_act, out=nc)
+        t_a = tmp[:active]
+        np.multiply(in_gate, candidate, out=t_a)
+        nc += t_a
+        tanh_new = tanh_cell[t, :active]
+        np.tanh(nc, out=tanh_new)
+        nh = new_h[:active]
+        np.multiply(out_gate, tanh_new, out=nh)
         if counts is None and mask is not None:
             step_mask = mask[:, t:t + 1]
-            hidden = np.where(step_mask, new_hidden, hidden)
-            cell = np.where(step_mask, new_cell, cell)
-        elif active == batch:
-            hidden, cell = new_hidden, new_cell
+            np.copyto(hidden, nh, where=step_mask)
+            np.copyto(cell, nc, where=step_mask)
         else:
-            hidden[:active] = new_hidden
-            cell[:active] = new_cell
-        hidden_seq[:, t] = hidden
-        cell_seq[:, t] = cell
-    return RnnTrainCache(kind="lstm", x=x, gates=gates, hidden_seq=hidden_seq,
-                         hidden_0=hidden_0, counts=counts, mask=mask,
-                         last=(hidden, cell), cell_seq=cell_seq, cell_0=cell_0,
+            hidden[:active] = nh
+            cell[:active] = nc
+        hidden_seq[t] = hidden
+        cell_seq[t] = cell
+    return RnnTrainCache(kind="lstm", plan=plan, x=x, gates=gates,
+                         hidden_seq=hidden_seq, hidden_0=hidden_0,
+                         counts=counts, mask=mask, last=(hidden, cell),
+                         cell_seq=cell_seq, cell_0=cell_0,
                          tanh_cell=tanh_cell)
 
 
@@ -421,15 +817,25 @@ def _step_rows(cache, t):
     return batch, None
 
 
-def _finish_input_grads(weights, x, d_gates_x):
-    """The fused tail of BPTT: input-side gradients as three big matmuls."""
+def _finish_input_grads(plan, x, d_gates_x):
+    """The fused tail of BPTT: input-side gradients as three big matmuls.
+
+    ``d_gates_x`` arrives time-major ``(T, B, G*H)`` and is flattened to
+    the batch-major order of ``x`` once, here.
+    """
     batch, steps, dim = x.shape
-    flat_x = x.reshape(batch * steps, dim)
+    # Work in the time-major order d_gates_x already has: transposing
+    # the (D-wide) input and output instead of the (G*H-wide) gate
+    # gradient moves a fraction of the bytes.  Each weight/bias entry is
+    # the same reduction over the same rows either way.
+    flat_xt = np.ascontiguousarray(x.swapaxes(0, 1)).reshape(
+        batch * steps, dim)
     flat_g = d_gates_x.reshape(batch * steps, -1)
+    d_x_tm = (flat_g @ plan.w_ih_t.T).reshape(steps, batch, dim)
     return {
-        "weight_ih": flat_g.T @ flat_x,
+        "weight_ih": flat_g.T @ flat_xt,
         "bias_ih": flat_g.sum(axis=0),
-        "d_x": (flat_g @ weights.weight_ih).reshape(batch, steps, dim),
+        "d_x": np.ascontiguousarray(d_x_tm.swapaxes(0, 1)),
     }
 
 
@@ -439,7 +845,7 @@ def gru_backward(weights, cache, d_last, d_outputs=None):
     Parameters
     ----------
     weights:
-        The :class:`~repro.nn.CellWeights` the forward ran with.
+        The weights/plan the forward ran with (the cached plan wins).
     cache:
         The :class:`RnnTrainCache` from :func:`gru_forward_train`.
     d_last:
@@ -453,49 +859,96 @@ def gru_backward(weights, cache, d_last, d_outputs=None):
     dict with ``d_x`` (gradient wrt the event representations, ``(B, T,
     D)``) and per-parameter gradients ``weight_ih``, ``weight_hh``,
     ``bias_ih``, ``bias_hh``, ``init_state`` — the exact quantities the
-    autograd path accumulates, to < 1e-8.
+    autograd path accumulates, to < 1e-8 under the float64 policy.
     """
+    plan = cache.plan if cache.plan is not None else as_plan(weights)
+    dt = plan.dtype
     batch, steps, _ = cache.x.shape
-    size = weights.hidden_size
-    d_hidden = np.array(d_last, dtype=np.float64, copy=True)
-    d_gates_x = np.zeros((batch, steps, 3 * size))
-    d_weight_hh = np.zeros_like(weights.weight_hh)
-    d_bias_hh = np.zeros_like(weights.bias_hh)
-    w_hh = weights.weight_hh
+    size = plan.hidden_size
+    two = 2 * size
+    d_hidden = np.array(d_last, dtype=dt, copy=True)
+    d_gates_x = np.zeros((steps, batch, 3 * size), dtype=dt)
+    # Pre-activation gradients wrt the recurrent projection, stashed
+    # time-major so d_weight_hh/d_bias_hh reduce to ONE big GEMM/sum
+    # after the loop instead of a small GEMM + accumulate per step.
+    d_gates_h = np.zeros((steps, batch, 3 * size), dtype=dt)
+    w_hh = plan.w_hh_t.T
+    hidden_seq, hidden_0 = cache.hidden_seq, cache.hidden_0
+    gates, gate_hidden = cache.gates, cache.gate_hidden
+    count_list = (None if cache.counts is None else cache.counts.tolist())
+    freeze_mask = cache.mask
+    # Per-step scratch (views sliced to the active prefix): the loop
+    # runs once per timestep, where temporary allocations are
+    # measurable on the training hot path.
+    s1 = np.empty((batch, size), dtype=dt)
+    s2 = np.empty((batch, size), dtype=dt)
+    s3 = np.empty((batch, size), dtype=dt)
     for t in range(steps - 1, -1, -1):
         if d_outputs is not None:
             d_hidden += d_outputs[:, t]
-        active, mask_col = _step_rows(cache, t)
+        if count_list is not None:
+            active, mask_col = count_list[t], None
+        elif freeze_mask is not None:
+            active, mask_col = batch, freeze_mask[:, t:t + 1]
+        else:
+            active, mask_col = batch, None
         if active == 0:
             continue
         dh = d_hidden[:active] if mask_col is None else d_hidden * mask_col
-        h_prev = (cache.hidden_seq[:active, t - 1] if t > 0
-                  else cache.hidden_0[:active])
-        gate_block = cache.gates[:active, t]
+        h_prev = (hidden_seq[t - 1, :active] if t > 0
+                  else hidden_0[:active])
+        gate_block = gates[t, :active]
         reset = gate_block[:, :size]
-        update = gate_block[:, size:2 * size]
-        candidate = gate_block[:, 2 * size:]
-        gh_n = cache.gate_hidden[:active, t]
-        d_candidate = dh * (1.0 - update)
-        d_update = dh * (h_prev - candidate)
-        d_prev = dh * update
-        da_n = d_candidate * (1.0 - candidate * candidate)
-        d_reset = da_n * gh_n
-        da_r = d_reset * reset * (1.0 - reset)
-        da_z = d_update * update * (1.0 - update)
-        d_gh = np.concatenate([da_r, da_z, da_n * reset], axis=1)
-        d_gates_x[:active, t, :2 * size] = d_gh[:, :2 * size]
-        d_gates_x[:active, t, 2 * size:] = da_n
-        d_prev = d_prev + d_gh @ w_hh
-        d_weight_hh += d_gh.T @ h_prev
-        d_bias_hh += d_gh.sum(axis=0)
+        update = gate_block[:, size:two]
+        candidate = gate_block[:, two:]
+        gh_n = gate_hidden[t, :active]
+        dgh = d_gates_h[t, :active]
+        dgx = d_gates_x[t, :active]
+        c1, c2, c3 = s1[:active], s2[:active], s3[:active]
+        # sigmoid' for the whole (r, z) block in one 2H-wide pass; the
+        # per-gate upstream gradients scale the halves below.
+        np.subtract(1.0, gate_block[:, :two], out=dgh[:, :two])
+        dgh[:, :two] *= gate_block[:, :two]
+        # da_n = dh * (1 - update) * (1 - candidate^2), written straight
+        # into the n-column of d_gates_x.
+        da_n = dgx[:, two:]
+        np.subtract(1.0, update, out=c1)
+        c1 *= dh
+        np.multiply(candidate, candidate, out=c2)
+        np.subtract(1.0, c2, out=c2)
+        np.multiply(c1, c2, out=da_n)
+        np.multiply(da_n, reset, out=dgh[:, two:])
+        # d_reset = da_n * gh_n scales the r half ...
+        np.multiply(da_n, gh_n, out=c3)
+        dgh[:, :size] *= c3
+        # ... and d_update = dh * (h_prev - candidate) the z half.
+        np.subtract(h_prev, candidate, out=c1)
+        c1 *= dh
+        dgh[:, size:two] *= c1
+        # d_prev = dh * update + dgh @ w_hh
         if mask_col is None:
-            d_hidden[:active] = d_prev
+            # dh aliases d_hidden[:active]: updating it in place IS the
+            # carry to step t-1 (no copy-back needed).
+            dh *= update
+            np.dot(dgh, w_hh, out=c3)
+            dh += c3
         else:
-            d_hidden = np.where(mask_col, d_prev, d_hidden)
-    grads = _finish_input_grads(weights, cache.x, d_gates_x)
-    grads["weight_hh"] = d_weight_hh
-    grads["bias_hh"] = d_bias_hh
+            np.multiply(dh, update, out=c2)
+            np.dot(dgh, w_hh, out=c3)
+            c2 += c3
+            d_hidden = np.where(mask_col, c2, d_hidden)
+    # The r/z columns of the input-side gate gradient equal the
+    # recurrent-side ones (the pre-activations are a sum); one bulk copy
+    # instead of a per-step one.
+    d_gates_x[:, :, :two] = d_gates_h[:, :, :two]
+    flat_gh = d_gates_h.reshape(steps * batch, -1)
+    if steps > 1:
+        h_prev_seq = np.concatenate([hidden_0[None], hidden_seq[:-1]])
+    else:
+        h_prev_seq = hidden_0[None]
+    grads = _finish_input_grads(plan, cache.x, d_gates_x)
+    grads["weight_hh"] = flat_gh.T @ h_prev_seq.reshape(steps * batch, size)
+    grads["bias_hh"] = flat_gh.sum(axis=0)
     grads["init_state"] = d_hidden.sum(axis=0)
     return grads
 
@@ -507,14 +960,18 @@ def lstm_backward(weights, cache, d_last, d_outputs=None):
     the final *hidden* state only (the loss never sees the cell), and the
     result additionally carries ``init_cell``.
     """
+    plan = cache.plan if cache.plan is not None else as_plan(weights)
+    dt = plan.dtype
     batch, steps, _ = cache.x.shape
-    size = weights.hidden_size
-    d_hidden = np.array(d_last, dtype=np.float64, copy=True)
-    d_cell = np.zeros((batch, size))
-    d_gates_x = np.zeros((batch, steps, 4 * size))
-    d_weight_hh = np.zeros_like(weights.weight_hh)
-    d_bias_hh = np.zeros_like(weights.bias_hh)
-    w_hh = weights.weight_hh
+    size = plan.hidden_size
+    two, three = 2 * size, 3 * size
+    d_hidden = np.array(d_last, dtype=dt, copy=True)
+    d_cell = np.zeros((batch, size), dtype=dt)
+    d_gates_x = np.zeros((steps, batch, 4 * size), dtype=dt)
+    d_weight_hh = np.zeros((4 * size, size), dtype=dt)
+    d_bias_hh = np.zeros(4 * size, dtype=dt)
+    w_hh = plan.w_hh_t.T
+    d_gh = np.empty((batch, 4 * size), dtype=dt)
     for t in range(steps - 1, -1, -1):
         if d_outputs is not None:
             d_hidden += d_outputs[:, t]
@@ -527,38 +984,39 @@ def lstm_backward(weights, cache, d_last, d_outputs=None):
         else:
             dh = d_hidden * mask_col
             dc = d_cell * mask_col
-        h_prev = (cache.hidden_seq[:active, t - 1] if t > 0
+        h_prev = (cache.hidden_seq[t - 1, :active] if t > 0
                   else cache.hidden_0[:active])
-        c_prev = (cache.cell_seq[:active, t - 1] if t > 0
+        c_prev = (cache.cell_seq[t - 1, :active] if t > 0
                   else cache.cell_0[:active])
-        gate_block = cache.gates[:active, t]
+        gate_block = cache.gates[t, :active]
         in_gate = gate_block[:, :size]
-        forget = gate_block[:, size:2 * size]
-        candidate = gate_block[:, 2 * size:3 * size]
-        out_gate = gate_block[:, 3 * size:]
-        tanh_c = cache.tanh_cell[:active, t]
+        forget = gate_block[:, size:two]
+        candidate = gate_block[:, two:three]
+        out_gate = gate_block[:, three:]
+        tanh_c = cache.tanh_cell[t, :active]
         d_out = dh * tanh_c
         dc = dc + dh * out_gate * (1.0 - tanh_c * tanh_c)
         d_in = dc * candidate
         d_forget = dc * c_prev
         d_candidate = dc * in_gate
         d_cell_prev = dc * forget
-        da_i = d_in * in_gate * (1.0 - in_gate)
-        da_f = d_forget * forget * (1.0 - forget)
-        da_g = d_candidate * (1.0 - candidate * candidate)
-        da_o = d_out * out_gate * (1.0 - out_gate)
-        d_gh = np.concatenate([da_i, da_f, da_g, da_o], axis=1)
-        d_gates_x[:active, t] = d_gh
-        d_prev = d_gh @ w_hh
-        d_weight_hh += d_gh.T @ h_prev
-        d_bias_hh += d_gh.sum(axis=0)
+        dgh = d_gh[:active]
+        np.multiply(d_in * in_gate, 1.0 - in_gate, out=dgh[:, :size])
+        np.multiply(d_forget * forget, 1.0 - forget, out=dgh[:, size:two])
+        np.multiply(d_candidate, 1.0 - candidate * candidate,
+                    out=dgh[:, two:three])
+        np.multiply(d_out * out_gate, 1.0 - out_gate, out=dgh[:, three:])
+        d_gates_x[t, :active] = dgh
+        d_prev = dgh @ w_hh
+        d_weight_hh += dgh.T @ h_prev
+        d_bias_hh += dgh.sum(axis=0)
         if mask_col is None:
             d_hidden[:active] = d_prev
             d_cell[:active] = d_cell_prev
         else:
             d_hidden = np.where(mask_col, d_prev, d_hidden)
             d_cell = np.where(mask_col, d_cell_prev, d_cell)
-    grads = _finish_input_grads(weights, cache.x, d_gates_x)
+    grads = _finish_input_grads(plan, cache.x, d_gates_x)
     grads["weight_hh"] = d_weight_hh
     grads["bias_hh"] = d_bias_hh
     grads["init_state"] = d_hidden.sum(axis=0)
@@ -575,12 +1033,18 @@ def rnn_backward(weights, cache, d_last, d_outputs=None):
     raise ValueError("unknown cell kind %r" % cache.kind)
 
 
-def _embedding_parts(trx_encoder, batch):
+# ----------------------------------------------------------------------
+# event encoding
+# ----------------------------------------------------------------------
+
+def _embedding_parts(trx_encoder, batch, tables=None):
     """Categorical embedding lookups as raw arrays, schema order.
 
     Ids are range-checked with the same error as ``Embedding.forward`` so
     the fused paths reject exactly the batches the Tensor path rejects
     (a negative id must not silently wrap to the table's last row).
+    ``tables`` (an :class:`EncodePlan`'s pre-cast copies) replaces the
+    live float64 tables when a precision policy is active.
     """
     parts = []
     for name in trx_encoder.schema.categorical:
@@ -591,7 +1055,8 @@ def _embedding_parts(trx_encoder, batch):
                 "embedding ids out of range [0, %d): min=%d max=%d"
                 % (module.num_embeddings, ids.min(), ids.max())
             )
-        parts.append(module.weight.data[ids])
+        table = module.weight.data if tables is None else tables[name]
+        parts.append(table[ids])
     return parts
 
 
@@ -602,7 +1067,8 @@ def _batchnorm_stats(norm, numeric, mask, training):
     masked batch statistics and folds them into the running buffers with
     the module's own momentum/_set_buffer, eval mode reads the running
     buffers — so checkpoints from the fused and Tensor engines carry
-    identical statistics.
+    identical statistics.  Always float64: the buffers are part of the
+    checkpoint contract and must not depend on the compute policy.
     """
     if not training:
         return norm.running_mean, norm.running_var
@@ -622,10 +1088,12 @@ def _batchnorm_stats(norm, numeric, mask, training):
     return mean, var
 
 
-def _encode(trx_encoder, batch, prev_times, training):
+def _encode(trx_encoder, batch, prev_times, training, plan=None):
     """Shared event-encoding pipeline behind both fused entry points."""
     trx_encoder.check_batch_schema(batch)
-    parts = _embedding_parts(trx_encoder, batch)
+    dtype = np.float64 if plan is None else plan.dtype
+    parts = _embedding_parts(trx_encoder, batch,
+                             tables=None if plan is None else plan.tables)
     scaled = None
     norm = trx_encoder.numeric_norm
     if norm is not None:
@@ -633,33 +1101,38 @@ def _encode(trx_encoder, batch, prev_times, training):
         mean, var = _batchnorm_stats(norm, numeric, batch.mask,
                                      training and norm.training)
         scaled = (numeric - mean) / np.sqrt(var + norm.eps)
-        parts.append(scaled * norm.weight.data + norm.bias.data)
+        part = scaled * norm.weight.data + norm.bias.data
+        if part.dtype != dtype:
+            part = part.astype(dtype)
+        parts.append(part)
     if not parts:
         raise ValueError("schema has no event fields to encode")
     x = np.concatenate(parts, axis=-1) if len(parts) > 1 else parts[0]
     return x, scaled
 
 
-def encode_events(trx_encoder, batch, prev_times=None):
+def encode_events(trx_encoder, batch, prev_times=None, plan=None):
     """Graph-free event encoding: the eval-mode ``TrxEncoder`` as raw numpy.
 
     Embedding lookups read the tables directly and batch norm applies the
     running statistics, which is exactly the Tensor path in eval mode
     (training-mode statistics are a training concern and never used when
-    serving).  Returns ``(B, T, D)`` float64.
+    serving).  Returns ``(B, T, D)`` — float64 without a ``plan``, the
+    plan dtype otherwise.
     """
-    x, _ = _encode(trx_encoder, batch, prev_times, training=False)
+    x, _ = _encode(trx_encoder, batch, prev_times, training=False, plan=plan)
     return x
 
 
-def encode_events_train(trx_encoder, batch):
+def encode_events_train(trx_encoder, batch, plan=None):
     """Event encoding under *training* semantics, plus the backward stash.
 
     Same pipeline as :func:`encode_events` (one shared implementation),
     but when the encoder's batch norm is in training mode it normalises
     by the masked batch statistics and updates the running buffers —
-    op-for-op what ``TrxEncoder.forward`` does.  Returns ``(x, scaled)``
-    where ``scaled`` is the pre-affine normalised numeric block the batch
-    norm backward needs (None without numeric features).
+    op-for-op what ``TrxEncoder.forward`` does (statistics always run in
+    float64, so checkpoints are policy-independent).  Returns ``(x,
+    scaled)`` where ``scaled`` is the pre-affine normalised numeric block
+    the batch norm backward needs (None without numeric features).
     """
-    return _encode(trx_encoder, batch, None, training=True)
+    return _encode(trx_encoder, batch, None, training=True, plan=plan)

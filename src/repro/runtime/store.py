@@ -20,6 +20,8 @@ state:
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
+
 import numpy as np
 
 from ..data.batches import collate
@@ -30,18 +32,24 @@ from .engine import FusedEncoderRuntime
 __all__ = ["EmbeddingStore", "advance_entities", "bulk_load_states"]
 
 
-def bulk_load_states(runtime, dataset, put_state, batch_size=64):
+def bulk_load_states(runtime, dataset, put_state, batch_size=64,
+                     workers=None):
     """Embed a whole dataset and hand every final state to ``put_state``.
 
     The single bulk loop behind :meth:`EmbeddingStore.bulk_load` and the
     sharded store's scatter variant: batches follow the globally
-    length-sorted plan, and ``put_state(entity_id, hidden, cell,
-    last_time)`` decides where each state lives.  Returns the ``(N, d)``
-    embedding matrix in dataset order.
+    length-sorted plan (run bucket-parallel per the runtime's ``workers``
+    policy), and ``put_state(entity_id, hidden, cell, last_time)``
+    decides where each state lives — state writes always happen in plan
+    order on the calling thread, so results are deterministic for any
+    worker count.  Returns the ``(N, d)`` embedding matrix in dataset
+    order.
     """
     time_field = dataset.schema.time_field
-    embeddings = np.zeros((len(dataset), runtime.output_dim))
-    for chunk, sequences, last in runtime.run_dataset(dataset, batch_size):
+    embeddings = np.zeros((len(dataset), runtime.output_dim),
+                          dtype=runtime.dtype)
+    for chunk, sequences, last in runtime.run_dataset(dataset, batch_size,
+                                                      workers=workers):
         hidden = runtime.hidden_of(last)
         embeddings[chunk] = runtime.head(hidden)
         for row, seq in enumerate(sequences):
@@ -52,7 +60,7 @@ def bulk_load_states(runtime, dataset, put_state, batch_size=64):
 
 
 def advance_entities(runtime, sequences, schema, state_of, put_state,
-                     batch_size=64):
+                     batch_size=64, workers=None):
     """Batched heterogeneous advance: one state transition per entity.
 
     ``sequences`` holds one pending event chunk per entity (one entity may
@@ -62,6 +70,13 @@ def advance_entities(runtime, sequences, schema, state_of, put_state,
     call per batch instead of one call per entity; rows mix entities with
     stored states and entities never seen before (seeded from the learnt
     initial state).
+
+    Execution is staged so parallelism never races the state callables:
+    all ``state_of`` reads happen up front on the calling thread, the
+    per-batch kernel calls run concurrently (``workers`` defaults to the
+    runtime's policy; BLAS releases the GIL), and all ``put_state``
+    writes happen afterwards in plan order — results are bit-identical
+    for any worker count.
 
     Parameters
     ----------
@@ -79,6 +94,8 @@ def advance_entities(runtime, sequences, schema, state_of, put_state,
         :mod:`repro.serving`.
     batch_size:
         Rows per fused batch (the bucketed plan's batch size).
+    workers:
+        Concurrent fused batches (None: the runtime's ``workers``).
 
     Returns the refreshed ``(N, d)`` embeddings in ``sequences`` order.
     """
@@ -91,8 +108,14 @@ def advance_entities(runtime, sequences, schema, state_of, put_state,
     lengths = [len(seq) for seq in sequences]
     if any(length == 0 for length in lengths):
         raise ValueError("advance requires at least one new event per entity")
+    workers = runtime.workers if workers is None else max(1, int(workers))
     time_field = schema.time_field
-    embeddings = np.zeros((len(sequences), runtime.output_dim))
+    embeddings = np.zeros((len(sequences), runtime.output_dim),
+                          dtype=runtime.dtype)
+
+    # Phase 1 (serial): collate every planned batch and gather the stored
+    # states through state_of.
+    tasks = []
     for chunk in plan_batches(lengths, batch_size):
         chunk_seqs = [sequences[i] for i in chunk]
         batch = collate(chunk_seqs, schema)
@@ -111,7 +134,24 @@ def advance_entities(runtime, sequences, schema, state_of, put_state,
                 initial[1][row] = cell
             if last_time is not None:
                 prev_times[row] = last_time
-        last = runtime.advance(batch, initial=initial, prev_times=prev_times)
+        tasks.append((chunk, chunk_seqs, batch, initial, prev_times))
+
+    # Phase 2 (parallel): the fused kernel calls — pure compute.
+    def run(task):
+        """Advance one prepared bucket through the fused kernels."""
+        _, _, batch, initial, prev_times = task
+        return runtime.advance(batch, initial=initial, prev_times=prev_times)
+
+    if workers == 1 or len(tasks) <= 1:
+        results = [run(task) for task in tasks]
+    else:
+        runtime.weight_plan()
+        runtime.encode_plan()
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            results = list(pool.map(run, tasks))
+
+    # Phase 3 (serial): scatter states and embeddings in plan order.
+    for (chunk, chunk_seqs, _, _, _), last in zip(tasks, results):
         hidden = runtime.hidden_of(last)
         for row, seq in enumerate(chunk_seqs):
             put_state(seq.seq_id, hidden[row],
@@ -124,20 +164,42 @@ def advance_entities(runtime, sequences, schema, state_of, put_state,
 class EmbeddingStore:
     """Per-entity embedding/state registry backed by a fused runtime.
 
+    States are stored in the runtime's policy dtype (float32 halves the
+    per-entity footprint; float64 is the parity reference).
+
     Parameters
     ----------
     encoder:
         A trained :class:`~repro.encoders.RnnSeqEncoder`, or an already
         constructed :class:`FusedEncoderRuntime`.
+    precision:
+        Dtype policy forwarded to the runtime (None: the runtime
+        default).  When handed an existing runtime the policies must
+        agree — the store has exactly one state dtype.
+    workers:
+        Bucket-parallel worker count forwarded to the runtime.
     """
 
-    def __init__(self, encoder):
+    def __init__(self, encoder, precision=None, workers=None):
         if isinstance(encoder, FusedEncoderRuntime):
             self.runtime = encoder
+            if (precision is not None
+                    and self.runtime.precision != precision):
+                raise ValueError(
+                    "store precision %r conflicts with the runtime's %r"
+                    % (precision, self.runtime.precision)
+                )
+            if workers is not None:
+                self.runtime.workers = max(1, int(workers))
         else:
-            self.runtime = FusedEncoderRuntime(encoder)
-        self._hidden = {}      # entity id -> (H,) float64
-        self._cell = {}        # entity id -> (H,) float64 (LSTM only)
+            kwargs = {}
+            if precision is not None:
+                kwargs["precision"] = precision
+            if workers is not None:
+                kwargs["workers"] = workers
+            self.runtime = FusedEncoderRuntime(encoder, **kwargs)
+        self._hidden = {}      # entity id -> (H,) policy dtype
+        self._cell = {}        # entity id -> (H,) policy dtype (LSTM only)
         self._last_times = {}  # entity id -> float timestamp of last event
 
     # ------------------------------------------------------------------
@@ -182,11 +244,11 @@ class EmbeddingStore:
         if last_time is None:
             raise ValueError("put_state requires the entity's last event "
                              "timestamp (last_time)")
-        hidden = np.array(hidden, dtype=np.float64, copy=True)
+        hidden = np.array(hidden, dtype=self.runtime.dtype, copy=True)
         if self.runtime.is_lstm:
             if cell is None:
                 raise ValueError("LSTM states require a cell buffer")
-            self._cell[entity_id] = np.array(cell, dtype=np.float64,
+            self._cell[entity_id] = np.array(cell, dtype=self.runtime.dtype,
                                              copy=True)
         self._hidden[entity_id] = hidden
         self._last_times[entity_id] = float(last_time)
@@ -194,7 +256,7 @@ class EmbeddingStore:
     # ------------------------------------------------------------------
     # bulk path
     # ------------------------------------------------------------------
-    def bulk_load(self, dataset, batch_size=64):
+    def bulk_load(self, dataset, batch_size=64, workers=None):
         """Embed every sequence of ``dataset`` and persist all final states.
 
         Batches follow a globally length-sorted plan, so each batch pads
@@ -202,7 +264,7 @@ class EmbeddingStore:
         in dataset order.
         """
         return bulk_load_states(self.runtime, dataset, self.put_state,
-                                batch_size=batch_size)
+                                batch_size=batch_size, workers=workers)
 
     # ------------------------------------------------------------------
     # incremental path
@@ -237,7 +299,7 @@ class EmbeddingStore:
         )
         return self.embedding(entity_id)
 
-    def update_many(self, sequences, schema, batch_size=64):
+    def update_many(self, sequences, schema, batch_size=64, workers=None):
         """Fold pending event chunks of many entities in fused batches.
 
         The batched counterpart of :meth:`update`: ``sequences`` carries
@@ -248,7 +310,7 @@ class EmbeddingStore:
         """
         return advance_entities(self.runtime, sequences, schema,
                                 self.state_of, self.put_state,
-                                batch_size=batch_size)
+                                batch_size=batch_size, workers=workers)
 
     def embedding(self, entity_id):
         """Current embedding of one entity, ``(d,)``."""
@@ -308,9 +370,11 @@ class EmbeddingStore:
         self._hidden = {}
         self._cell = {}
         self._last_times = {}
+        dtype = self.runtime.dtype
         for row, entity_id in enumerate(arrays["entity_ids"].tolist()):
-            self._hidden[entity_id] = hidden[row].copy()
+            self._hidden[entity_id] = np.asarray(hidden[row], dtype=dtype)
             if self.runtime.is_lstm:
-                self._cell[entity_id] = arrays["cell"][row].copy()
+                self._cell[entity_id] = np.asarray(arrays["cell"][row],
+                                                   dtype=dtype)
             self._last_times[entity_id] = float(arrays["last_times"][row])
         return self

@@ -51,11 +51,20 @@ class EmbeddingService:
         Buffered-event threshold that triggers an automatic flush.
     batch_size:
         Rows per fused batch when flushing and bulk-loading.
+    precision:
+        Dtype policy of the underlying fused runtime (None: the runtime
+        default, float32).
+    workers:
+        Bucket-parallel worker count for flushes and bulk loads (None:
+        the runtime default, serial; any value is bit-identical).
     """
 
     def __init__(self, encoder, schema, num_shards=8, cache_capacity=1024,
-                 flush_events=256, batch_size=64):
-        self.store = ShardedEmbeddingStore(encoder, num_shards=num_shards)
+                 flush_events=256, batch_size=64, precision=None,
+                 workers=None):
+        self.store = ShardedEmbeddingStore(encoder, num_shards=num_shards,
+                                           precision=precision,
+                                           workers=workers)
         self.schema = schema
         self.batch_size = int(batch_size)
         self.cache = EmbeddingCache(cache_capacity)
@@ -137,7 +146,8 @@ class EmbeddingService:
                  if self.batcher.has_pending(entity_id)]
         if stale:
             self.flush(stale)
-        out = np.zeros((len(entity_ids), self.store.runtime.output_dim))
+        out = np.zeros((len(entity_ids), self.store.runtime.output_dim),
+                       dtype=self.store.runtime.dtype)
         missing_rows, missing_ids = [], []
         for row, entity_id in enumerate(entity_ids):
             cached = self.cache.get(entity_id)

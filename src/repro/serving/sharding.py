@@ -64,13 +64,25 @@ class ShardedEmbeddingStore:
     store for a sharded one without code changes.
     """
 
-    def __init__(self, encoder, num_shards=8):
+    def __init__(self, encoder, num_shards=8, precision=None, workers=None):
         if num_shards < 1:
             raise ValueError("num_shards must be >= 1")
         if isinstance(encoder, FusedEncoderRuntime):
             self.runtime = encoder
+            if precision is not None and self.runtime.precision != precision:
+                raise ValueError(
+                    "store precision %r conflicts with the runtime's %r"
+                    % (precision, self.runtime.precision)
+                )
+            if workers is not None:
+                self.runtime.workers = max(1, int(workers))
         else:
-            self.runtime = FusedEncoderRuntime(encoder)
+            kwargs = {}
+            if precision is not None:
+                kwargs["precision"] = precision
+            if workers is not None:
+                kwargs["workers"] = workers
+            self.runtime = FusedEncoderRuntime(encoder, **kwargs)
         self.num_shards = int(num_shards)
         self.shards = [EmbeddingStore(self.runtime)
                        for _ in range(self.num_shards)]
@@ -143,16 +155,16 @@ class ShardedEmbeddingStore:
     # ------------------------------------------------------------------
     # writes: globally batched compute, shard-scattered state
     # ------------------------------------------------------------------
-    def bulk_load(self, dataset, batch_size=64):
+    def bulk_load(self, dataset, batch_size=64, workers=None):
         """Embed a whole dataset; states scatter to their owning shards."""
         return bulk_load_states(self.runtime, dataset, self.put_state,
-                                batch_size=batch_size)
+                                batch_size=batch_size, workers=workers)
 
     def update(self, entity_id, events, schema):
         """Per-entity incremental refresh, routed to the owning shard."""
         return self.shard_for(entity_id).update(entity_id, events, schema)
 
-    def update_many(self, sequences, schema, batch_size=64):
+    def update_many(self, sequences, schema, batch_size=64, workers=None):
         """Micro-batched advance across shards.
 
         Entities from different shards share fused batches (the plan is
@@ -160,7 +172,7 @@ class ShardedEmbeddingStore:
         """
         return advance_entities(self.runtime, sequences, schema,
                                 self.state_of, self.put_state,
-                                batch_size=batch_size)
+                                batch_size=batch_size, workers=workers)
 
     # ------------------------------------------------------------------
     # persistence: one npz per shard + a manifest

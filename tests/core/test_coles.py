@@ -51,8 +51,10 @@ class TestTrainingAndEmbedding:
     def test_embeddings_unit_norm(self, fitted_model, churn):
         emb = fitted_model.embed(churn)
         assert emb.shape == (len(churn), 24)
+        # The serving default is the float32 precision policy, so norms
+        # are unit to float32 rounding.
         np.testing.assert_allclose(np.linalg.norm(emb, axis=1),
-                                   np.ones(len(churn)), rtol=1e-8)
+                                   np.ones(len(churn)), rtol=1e-6)
 
     def test_same_class_closer_than_cross_class(self, fitted_model, churn):
         """The contrastive objective's intended geometry (Section 3.1):

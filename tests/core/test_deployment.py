@@ -28,8 +28,10 @@ def world():
 class TestEmbedDataset:
     def test_shape_and_batching_invariance(self, world):
         dataset, encoder = world
-        full = embed_dataset(encoder, dataset, batch_size=64)
-        small = embed_dataset(encoder, dataset, batch_size=3)
+        full = embed_dataset(encoder, dataset, batch_size=64,
+                             precision="float64")
+        small = embed_dataset(encoder, dataset, batch_size=3,
+                              precision="float64")
         assert full.shape == (len(dataset), 16)
         np.testing.assert_allclose(full, small, rtol=1e-9)
 
@@ -47,8 +49,8 @@ class TestIncrementalEmbedder:
         encoder = build_encoder(dataset.schema, 12, "lstm",
                                 rng=np.random.default_rng(5))
         encoder.eval()
-        embedder = IncrementalEmbedder(encoder)
-        full = embed_dataset(encoder, dataset)
+        embedder = IncrementalEmbedder(encoder, precision="float64")
+        full = embed_dataset(encoder, dataset, precision="float64")
         seq = dataset[0]
         mid = len(seq) // 2
         embedder.update(seq.seq_id, seq.slice(0, mid), dataset.schema)
@@ -59,8 +61,8 @@ class TestIncrementalEmbedder:
     def test_incremental_equals_full_recompute(self, world):
         """The paper's ETL property: c_{t+k} from c_t and the new events."""
         dataset, encoder = world
-        embedder = IncrementalEmbedder(encoder)
-        full = embed_dataset(encoder, dataset)
+        embedder = IncrementalEmbedder(encoder, precision="float64")
+        full = embed_dataset(encoder, dataset, precision="float64")
         for row, seq in enumerate(dataset):
             # Feed the sequence in three chunks.
             cuts = [0, len(seq) // 3, 2 * len(seq) // 3, len(seq)]

@@ -88,7 +88,7 @@ def test_fused_trained_weights_serve_through_runtime():
     dataset = _dataset(seed=4)
     trainer = _trainer(dataset, "fused", num_epochs=1)
     trainer.fit(dataset)
-    runtime = trainer.encoder.fused_runtime()
+    runtime = trainer.encoder.fused_runtime(precision="float64")
     served = runtime.embed_dataset(dataset)
     reference = np.stack([
         trainer.encoder.embed(_collate_one(seq, dataset.schema)).data[0]

@@ -104,7 +104,7 @@ def test_embed_batch_matches_tensor(dataset, cell):
     encoder = build_encoder(dataset.schema, 16, cell,
                             rng=np.random.default_rng(3))
     encoder.eval()
-    runtime = encoder.fused_runtime()
+    runtime = encoder.fused_runtime(precision="float64")
     rng = np.random.default_rng(0)
     for _ in range(3):
         take = rng.choice(len(dataset), size=6, replace=False)
@@ -121,8 +121,9 @@ def test_embed_dataset_paths_agree(dataset, cell):
     tensor_path = embed_dataset(encoder, dataset, batch_size=8,
                                 runtime="tensor")
     fused_path = embed_dataset(encoder, dataset, batch_size=8,
-                               runtime="fused")
-    auto_path = embed_dataset(encoder, dataset, batch_size=8)
+                               runtime="fused", precision="float64")
+    auto_path = embed_dataset(encoder, dataset, batch_size=8,
+                              precision="float64")
     np.testing.assert_allclose(fused_path, tensor_path, atol=ATOL)
     np.testing.assert_allclose(auto_path, tensor_path, atol=ATOL)
 
@@ -167,7 +168,7 @@ def test_runtime_serves_live_weights(dataset):
     encoder = build_encoder(dataset.schema, 8, "gru",
                             rng=np.random.default_rng(6))
     encoder.eval()
-    runtime = encoder.fused_runtime()
+    runtime = encoder.fused_runtime(precision="float64")
     batch = collate(dataset.sequences[:4], dataset.schema)
     before = runtime.embed_batch(batch)
     for param in encoder.parameters():

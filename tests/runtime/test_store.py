@@ -32,7 +32,7 @@ def _encoder(dataset, cell, hidden=14, seed=0):
 class TestBulkAndIncremental:
     def test_bulk_load_matches_tensor_path(self, dataset, cell):
         encoder = _encoder(dataset, cell)
-        store = EmbeddingStore(encoder)
+        store = EmbeddingStore(encoder, precision="float64")
         bulk = store.bulk_load(dataset)
         reference = embed_dataset(encoder, dataset, runtime="tensor")
         np.testing.assert_allclose(bulk, reference, atol=1e-10)
@@ -42,8 +42,8 @@ class TestBulkAndIncremental:
         """Chunked updates reproduce bulk embeddings despite the bucketed
         batch plan reordering the bulk pass."""
         encoder = _encoder(dataset, cell)
-        store = EmbeddingStore(encoder)
-        bulk = EmbeddingStore(encoder).bulk_load(dataset)
+        store = EmbeddingStore(encoder, precision="float64")
+        bulk = EmbeddingStore(encoder, precision="float64").bulk_load(dataset)
         for row, seq in enumerate(dataset):
             cuts = [0, len(seq) // 3, 2 * len(seq) // 3, len(seq)]
             for start, stop in zip(cuts[:-1], cuts[1:]):
@@ -59,7 +59,7 @@ class TestBulkAndIncremental:
         encoder = _encoder(dataset, cell)
         truncated = dataset[np.arange(len(dataset))]
         truncated.sequences = [seq.slice(0, len(seq) - 5) for seq in dataset]
-        store = EmbeddingStore(encoder)
+        store = EmbeddingStore(encoder, precision="float64")
         store.bulk_load(truncated)
         full = embed_dataset(encoder, dataset, runtime="tensor")
         for row, seq in enumerate(dataset):
@@ -70,14 +70,14 @@ class TestBulkAndIncremental:
 
     def test_snapshot_restore_roundtrip(self, dataset, cell, tmp_path):
         encoder = _encoder(dataset, cell)
-        store = EmbeddingStore(encoder)
+        store = EmbeddingStore(encoder, precision="float64")
         half = dataset[np.arange(len(dataset))]
         half.sequences = [seq.slice(0, len(seq) // 2) for seq in dataset]
         store.bulk_load(half)
         path = tmp_path / "store.npz"
         store.snapshot(path)
 
-        restored = EmbeddingStore(encoder).restore(path)
+        restored = EmbeddingStore(encoder, precision="float64").restore(path)
         assert restored.known_entities() == store.known_entities()
         for seq in dataset:
             np.testing.assert_array_equal(restored.embedding(seq.seq_id),

@@ -43,7 +43,7 @@ class TestReplayEquivalence:
         embeddings equal a cold full recompute."""
         encoder = _encoder(dataset, cell)
         service = EmbeddingService(encoder, dataset.schema, num_shards=4,
-                                   flush_events=48)
+                                   flush_events=48, precision="float64")
         log = build_event_log(dataset, chunk_events=5, seed=7)
         stats = replay_event_log(service, log, query_every=4)
         assert stats["pending_events"] == 0
@@ -51,7 +51,8 @@ class TestReplayEquivalence:
         assert stats["flushes"] >= 2  # micro-batched, not one giant flush
 
         served = service.query([seq.seq_id for seq in dataset])
-        reference = embed_dataset(encoder, dataset, runtime="fused")
+        reference = embed_dataset(encoder, dataset, runtime="fused",
+                                  precision="float64")
         np.testing.assert_allclose(served, reference, atol=1e-10)
 
     def test_bulk_load_then_stream_matches(self, dataset, cell):
@@ -65,11 +66,12 @@ class TestReplayEquivalence:
                            for seq in dataset]
 
         service = serve(encoder, dataset=history, num_shards=3,
-                        flush_events=32)
+                        flush_events=32, precision="float64")
         replay_event_log(service, build_event_log(tails, chunk_events=4,
                                                   seed=1))
         served = service.query([seq.seq_id for seq in dataset])
-        reference = embed_dataset(encoder, dataset, runtime="fused")
+        reference = embed_dataset(encoder, dataset, runtime="fused",
+                                  precision="float64")
         np.testing.assert_allclose(served, reference, atol=1e-10)
 
 
@@ -90,7 +92,8 @@ class TestCacheBehaviour:
         encoder = _encoder(dataset, "gru")
         history = dataset[np.arange(len(dataset))]
         history.sequences = [seq.slice(0, len(seq) - 5) for seq in dataset]
-        service = serve(encoder, dataset=history, flush_events=10_000)
+        service = serve(encoder, dataset=history, flush_events=10_000,
+                        precision="float64")
         seq = dataset[0]
         stale = service.query_one(seq.seq_id)  # warm the cache
         assert seq.seq_id in service.cache
@@ -100,7 +103,8 @@ class TestCacheBehaviour:
         fresh = service.query_one(seq.seq_id)  # forces the flush
         assert service.batcher.pending_events == 0
         assert np.abs(fresh - stale).max() > 0
-        full = embed_dataset(encoder, dataset, runtime="fused")
+        full = embed_dataset(encoder, dataset, runtime="fused",
+                             precision="float64")
         np.testing.assert_allclose(fresh, full[0], atol=1e-10)
 
     def test_explicit_flush_invalidates_cached_entries(self, dataset):

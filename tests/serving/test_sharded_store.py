@@ -82,7 +82,8 @@ class TestRouting:
 class TestBatchedWrites:
     def test_bulk_load_matches_flat_store(self, dataset, cell):
         encoder = _encoder(dataset, cell)
-        sharded = ShardedEmbeddingStore(encoder, num_shards=4)
+        sharded = ShardedEmbeddingStore(encoder, num_shards=4,
+                                        precision="float64")
         out = sharded.bulk_load(dataset)
         reference = embed_dataset(encoder, dataset, runtime="tensor")
         np.testing.assert_allclose(out, reference, atol=1e-10)
@@ -94,8 +95,9 @@ class TestBatchedWrites:
         """Heterogeneous micro-batches (known + new entities, mixed chunk
         lengths, cross-shard rows) equal one-entity-at-a-time updates."""
         encoder = _encoder(dataset, cell)
-        flat = EmbeddingStore(encoder)
-        sharded = ShardedEmbeddingStore(encoder, num_shards=3)
+        flat = EmbeddingStore(encoder, precision="float64")
+        sharded = ShardedEmbeddingStore(encoder, num_shards=3,
+                                        precision="float64")
         heads = [seq.slice(0, len(seq) // 2) for seq in dataset]
         tails = [seq.slice(len(seq) // 2, len(seq)) for seq in dataset]
 
@@ -143,14 +145,16 @@ class TestBatchedWrites:
 class TestShardedPersistence:
     def test_snapshot_restore_roundtrip(self, dataset, cell, tmp_path):
         encoder = _encoder(dataset, cell)
-        store = ShardedEmbeddingStore(encoder, num_shards=4)
+        store = ShardedEmbeddingStore(encoder, num_shards=4,
+                                       precision="float64")
         half = dataset[np.arange(len(dataset))]
         half.sequences = [seq.slice(0, len(seq) // 2) for seq in dataset]
         store.bulk_load(half)
         snapshot_dir = tmp_path / "shards"
         store.snapshot(snapshot_dir)
 
-        restored = ShardedEmbeddingStore(encoder, num_shards=4)
+        restored = ShardedEmbeddingStore(encoder, num_shards=4,
+                                         precision="float64")
         restored.restore(snapshot_dir)
         assert restored.known_entities() == store.known_entities()
         assert restored.shard_sizes() == store.shard_sizes()

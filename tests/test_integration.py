@@ -92,8 +92,10 @@ class TestDeploymentChain(object):
 
     def test_incremental_streaming_matches_batch(self, age_world, trained_coles):
         dataset, _, test = age_world
-        embedder = IncrementalEmbedder(trained_coles.encoder)
-        batch_embeddings = embed_dataset(trained_coles.encoder, test)
+        embedder = IncrementalEmbedder(trained_coles.encoder,
+                                       precision="float64")
+        batch_embeddings = embed_dataset(trained_coles.encoder, test,
+                                         precision="float64")
         for row, seq in enumerate(test):
             mid = len(seq) // 2
             embedder.update(seq.seq_id, seq.slice(0, mid), test.schema)
