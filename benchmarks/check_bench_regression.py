@@ -1,27 +1,38 @@
-"""CI gate: fail when a recorded throughput regresses vs the baseline.
+"""CI gate: fail when a recorded benchmark metric regresses vs the baseline.
 
 Compares a freshly regenerated ``BENCH_*.json`` against the committed
-baseline.  Gated keys (``--key``, repeatable) fail the build when
-``current < baseline * (1 - tolerance)``; every *other* numeric metric
-shared by the two files is printed as a ``trend`` line — on success too —
-so CI logs double as a perf trajectory::
+baseline.  Gated keys (``--key``, repeatable) carry an optional direction
+suffix:
+
+- ``--key events_per_sec.fused_bucketed`` (or ``...=higher``) gates a
+  throughput: fail when ``current < baseline * (1 - tolerance)``;
+- ``--key bytes_per_entity.memmap_int8=lower`` gates a
+  lower-is-better metric (footprints, latencies): fail when
+  ``current > baseline * (1 + tolerance)``.
+
+Every *other* numeric metric shared by the two files is printed as a
+``trend`` line — on success too — so CI logs double as a perf
+trajectory::
 
     python benchmarks/check_bench_regression.py \
         --baseline /tmp/bench_baseline.json \
-        --current BENCH_inference.json \
-        --key events_per_sec.fused_bucketed \
+        --current BENCH_serving.json \
+        --key events_per_sec.microbatched_ingest \
+        --key bytes_per_entity.memmap_int8=lower \
         --tolerance 0.30
 
 With no ``--key`` the script prints the trajectory only and exits 0
 (useful for files tracked but not yet gated).  The tolerance absorbs
 shared-runner noise; a real hot-path regression (losing the packed-kernel
-fast path, the bucketed plan, micro-batched ingest, or the fused
-backward) overshoots 30% by a wide margin.
+fast path, the bucketed plan, micro-batched ingest, the fused backward,
+or the quantized at-rest encoding) overshoots 30% by a wide margin.
 """
 
 import argparse
 import json
 import sys
+
+DIRECTIONS = ("higher", "lower")
 
 
 def lookup(results, dotted_key):
@@ -33,6 +44,21 @@ def lookup(results, dotted_key):
                            % (dotted_key, part))
         value = value[part]
     return float(value)
+
+
+def parse_gate(spec):
+    """Split a ``--key`` spec into ``(dotted_key, direction)``.
+
+    ``direction`` defaults to ``"higher"`` (throughputs); a ``=lower``
+    suffix marks footprint/latency metrics where growth is the
+    regression.
+    """
+    dotted_key, _, direction = spec.partition("=")
+    direction = direction or "higher"
+    if direction not in DIRECTIONS:
+        raise ValueError("unknown gate direction %r in %r (use %s)"
+                         % (direction, spec, "/".join(DIRECTIONS)))
+    return dotted_key, direction
 
 
 def numeric_leaves(results, prefix=""):
@@ -76,8 +102,10 @@ def main(argv=None):
     parser.add_argument("--current", required=True,
                         help="freshly regenerated BENCH_*.json")
     parser.add_argument("--key", action="append", default=None,
-                        help="dotted path of a throughput to gate; repeat "
-                             "for several keys, omit for trajectory-only")
+                        help="dotted path of a metric to gate, optionally "
+                             "suffixed '=higher' (default) or '=lower'; "
+                             "repeat for several keys, omit for "
+                             "trajectory-only")
     parser.add_argument("--tolerance", type=float, default=0.30,
                         help="allowed fractional regression (default 0.30)")
     args = parser.parse_args(argv)
@@ -90,10 +118,12 @@ def main(argv=None):
     print_context("baseline", baseline)
     print_context("current", current)
 
+    gates = [parse_gate(spec) for spec in args.key or ()]
+
     # The trajectory: measured-vs-baseline ratio for every tracked metric,
     # printed on success as well as failure.
     current_values = dict(numeric_leaves(current))
-    gated = set(args.key or ())
+    gated = {dotted_key for dotted_key, _ in gates}
     for dotted, base_value in numeric_leaves(baseline):
         if dotted in gated or dotted not in current_values:
             continue
@@ -103,14 +133,22 @@ def main(argv=None):
               % (dotted, base_value, now, ratio))
 
     failures = 0
-    for dotted_key in args.key or ():
+    for dotted_key, direction in gates:
         base_value = lookup(baseline, dotted_key)
         now = lookup(current, dotted_key)
-        floor = base_value * (1.0 - args.tolerance)
         ratio = now / base_value if base_value else float("inf")
-        print("gate   %-45s baseline %12.0f  current %12.0f  (%.2fx), "
-              "floor %.0f" % (dotted_key, base_value, now, ratio, floor))
-        if now < floor:
+        if direction == "lower":
+            limit = base_value * (1.0 + args.tolerance)
+            regressed = now > limit
+            print("gate   %-45s baseline %12.2f  current %12.2f  (%.2fx), "
+                  "ceiling %.2f [lower is better]"
+                  % (dotted_key, base_value, now, ratio, limit))
+        else:
+            limit = base_value * (1.0 - args.tolerance)
+            regressed = now < limit
+            print("gate   %-45s baseline %12.0f  current %12.0f  (%.2fx), "
+                  "floor %.0f" % (dotted_key, base_value, now, ratio, limit))
+        if regressed:
             print("FAIL: %s regressed more than %.0f%% vs the committed "
                   "baseline" % (dotted_key, 100 * args.tolerance))
             failures += 1

@@ -9,12 +9,16 @@ Shows the serving properties the paper engineered for scale (90M+ cards):
    state c_t is advanced from where it stopped instead of re-reading the
    whole history.  We verify the refreshed embedding equals a full
    recompute bit-for-bit.
-3. **Snapshot/restore** — the :class:`~repro.runtime.EmbeddingStore`
-   persists per-entity states between ETL runs, so a restarted worker
-   resumes streaming without recomputation.
+3. **Save/load** — the :class:`~repro.runtime.EmbeddingStore` persists
+   per-entity states between ETL runs as a portable state bundle, so a
+   restarted worker resumes streaming without recomputation.
 4. **uint4 quantization** — embeddings compress 8x (a 256-dim float32
    vector: 1KB -> 128 bytes) with bounded reconstruction error.
-5. **Online serving** — an :class:`~repro.serving.EmbeddingService`
+5. **Out-of-core state** — the same bundle loads into a
+   :class:`~repro.runtime.MemmapStateBackend` with the ``int8`` state
+   codec: states page through disk-backed shards at a fraction of the
+   in-RAM footprint, within a documented drift bound.
+6. **Online serving** — an :class:`~repro.serving.EmbeddingService`
    (sharded state, micro-batched ingestion, LRU cache) replays an
    interleaved event log and serves query traffic that always matches a
    full recompute.
@@ -38,7 +42,7 @@ from repro.core import (
 from repro.core.inference import serve
 from repro.data.sequences import SequenceDataset
 from repro.data.synthetic import make_retail_customers_dataset
-from repro.runtime import EmbeddingStore
+from repro.runtime import EmbeddingStore, MemmapStateBackend
 from repro.serving import build_event_log, replay_event_log
 
 
@@ -70,12 +74,14 @@ def main():
     print("day-0 embeddings:", day0.shape)
 
     # ------------------------------------------------------------------
-    # Overnight: persist the store; a fresh worker picks it up.
+    # Overnight: persist the store; a fresh worker picks it up.  save()
+    # writes a manifest-driven state bundle (mmap-loadable .npy blocks)
+    # that any backend/codec combination can load.
     # ------------------------------------------------------------------
-    snapshot_path = os.path.join(tempfile.mkdtemp(), "embeddings.npz")
-    store.snapshot(snapshot_path)
-    worker = EmbeddingStore(encoder).restore(snapshot_path)
-    print("snapshot/restore: %d entities carried over" % len(worker))
+    bundle_dir = os.path.join(tempfile.mkdtemp(), "store_state")
+    store.save(bundle_dir)
+    worker = EmbeddingStore(encoder).load(bundle_dir)
+    print("save/load: %d entities carried over" % len(worker))
 
     # ------------------------------------------------------------------
     # Day 1: each client produced a handful of new transactions.  The
@@ -111,6 +117,32 @@ def main():
     print("max reconstruction error per coordinate: %.4f" % error)
 
     # ------------------------------------------------------------------
+    # Out-of-core state: the same bundle loads into a memory-mapped
+    # backend with the int8 state codec — states page through small
+    # disk-backed shards instead of living in RAM, and the day-1 stream
+    # folds in within the codec's drift bound.
+    # ------------------------------------------------------------------
+    ooc = EmbeddingStore(
+        encoder, codec="int8",
+        # Tiny shards + a 2-shard LRU so even 120 clients page through
+        # disk (production would keep the 1024-row default).
+        backend=MemmapStateBackend(
+            os.path.join(tempfile.mkdtemp(), "ooc_state"),
+            shard_capacity=16, cache_shards=2))
+    ooc.load(bundle_dir)
+    for seq in clients:
+        ooc.update(seq.seq_id, seq.slice(split[seq.seq_id], len(seq)),
+                   clients.schema)
+    drift = np.abs(np.stack([ooc.embedding(seq.seq_id)
+                             for seq in clients]) - full).max()
+    print("out-of-core store (memmap shards + int8 codec): %.0f bytes "
+          "per entity at rest vs %.0f for the in-RAM dict backend "
+          "(%.1fx smaller), %d shard evictions, max drift %.2e"
+          % (ooc.bytes_per_entity(), store.bytes_per_entity(),
+             store.bytes_per_entity() / ooc.bytes_per_entity(),
+             ooc.backend.stats()["evictions"], drift))
+
+    # ------------------------------------------------------------------
     # Online serving: stand the embedding service up on day-0 history,
     # replay the day-1 stream as interleaved per-client arrivals with
     # read-your-writes query traffic, and verify the served embeddings.
@@ -140,12 +172,12 @@ def main():
              stats["cache"]["invalidations"]))
 
     service_dir = os.path.join(tempfile.mkdtemp(), "service-shards")
-    service.snapshot(service_dir)
+    service.save(service_dir)
     standby = serve(encoder, schema=clients.schema, num_shards=4)
-    standby.restore(service_dir)
+    standby.load(service_dir)
     np.testing.assert_array_equal(standby.query(ids), service.query(ids))
-    print("  sharded snapshot -> standby worker: %d entities across %d "
-          "shard files" % (len(standby.store), standby.store.num_shards))
+    print("  sharded save -> standby worker: %d entities across %d "
+          "shard bundles" % (len(standby.store), standby.store.num_shards))
 
 
 if __name__ == "__main__":

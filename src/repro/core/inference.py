@@ -88,8 +88,12 @@ def serve(encoder, dataset=None, schema=None, **service_kwargs):
     micro-batched ingestion, hot-embedding cache.
 
     ``schema`` defaults to ``dataset.schema``; keyword arguments
-    (``num_shards``, ``cache_capacity``, ``flush_events``, ``batch_size``)
-    pass through to :class:`~repro.serving.EmbeddingService`.
+    (``num_shards``, ``cache_capacity``, ``flush_events``, ``batch_size``,
+    ``precision``, ``workers``, and the storage knobs ``backend``,
+    ``codec``, ``backend_dir``) pass through to
+    :class:`~repro.serving.EmbeddingService` — e.g.
+    ``serve(encoder, dataset, backend="memmap", backend_dir=path,
+    codec="int8")`` stands up an out-of-core, quantized-at-rest service.
     """
     if schema is None:
         if dataset is None:

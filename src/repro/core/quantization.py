@@ -4,6 +4,15 @@ The paper compresses production embeddings by mapping single-precision
 values into 16 levels (uint4): a 256-dim embedding shrinks from 1KB to
 128 bytes.  We implement symmetric per-dimension linear quantization with
 the same default of 16 levels, plus packing of two 4-bit codes per byte.
+
+This module is the numeric core of the at-rest
+:class:`~repro.runtime.QuantizedCodec`: the serving state backends
+(:mod:`repro.runtime.backends`) quantize per-shard state blocks through
+these functions and keep the per-dimension minimum/scale metadata next to
+the codes.  It follows the precision policy of the fused runtime:
+float32 input quantizes in float32 (no silent up-cast), and
+:meth:`QuantizedEmbeddings.dequantize` reconstructs in a caller-chosen
+dtype instead of forcing float64.
 """
 
 from __future__ import annotations
@@ -24,9 +33,29 @@ class QuantizedEmbeddings:
     scales: np.ndarray      # (d,) per-dimension step size
     levels: int
 
-    def dequantize(self):
-        """Reconstruct float embeddings (lossy)."""
-        return self.minimums + self.codes.astype(np.float64) * self.scales
+    def dequantize(self, dtype=np.float64):
+        """Reconstruct float embeddings (lossy) in ``dtype``.
+
+        ``dtype`` follows the runtime precision policy: the default
+        (float64) preserves the historical behaviour, ``np.float32``
+        reconstructs directly in the serving compute dtype without a
+        float64 intermediate.
+        """
+        dtype = np.dtype(dtype)
+        return (self.minimums.astype(dtype, copy=False)
+                + self.codes.astype(dtype) * self.scales.astype(dtype,
+                                                                copy=False))
+
+    def quantization_error(self):
+        """Symmetric per-dimension worst-case reconstruction error.
+
+        Linear quantization rounds each value to the nearest of
+        ``levels`` grid points, so the reconstruction error is bounded by
+        half a step in either direction: ``|x - dequantize(x)| <=
+        scales / 2`` per dimension.  The at-rest codecs and their
+        property tests use this bound as the documented drift tolerance.
+        """
+        return self.scales / 2.0
 
     def packed_bytes(self):
         """Storage size in bytes when 4-bit codes are packed two-per-byte."""
@@ -36,11 +65,20 @@ class QuantizedEmbeddings:
         return n * ((d + 1) // 2)
 
 
-def quantize_embeddings(embeddings, levels=16):
-    """Per-dimension linear quantization into ``levels`` codes."""
+def quantize_embeddings(embeddings, *, levels=16):
+    """Per-dimension linear quantization into ``levels`` codes.
+
+    ``levels`` is keyword-only (``levels=16`` is the paper's uint4
+    production setting; 256 is the int8 state codec).  Float32 input is
+    quantized in float32 — minimums and scales keep the input dtype, so
+    the serving path never up-casts behind the caller's back; any other
+    dtype is promoted to float64 as before.
+    """
     if levels < 2 or levels > 256:
         raise ValueError("levels must be in [2, 256]")
-    embeddings = np.asarray(embeddings, dtype=np.float64)
+    embeddings = np.asarray(embeddings)
+    if embeddings.dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
+        embeddings = embeddings.astype(np.float64)
     if embeddings.ndim != 2:
         raise ValueError("expected a 2-D embedding matrix")
     minimums = embeddings.min(axis=0)

@@ -17,7 +17,9 @@ The execution-path split of the codebase:
   fine-tuning through the hand-derived :func:`softmax_head_gradient`;
 - **serving** — the same forward kernels driven by a
   :class:`FusedEncoderRuntime`, with per-entity state owned by an
-  :class:`EmbeddingStore`.
+  :class:`EmbeddingStore` over a pluggable :class:`StateBackend`
+  (in-RAM dicts or out-of-core memmap shards) and an at-rest
+  :class:`StateCodec` (identity / float16 / int8 / uint4).
 
 All paths share one weight layout (:class:`repro.nn.CellWeights`):
 fused-trained weights drop directly into the serving stack.  Forward
@@ -26,6 +28,9 @@ equivalence to the Tensor path is < 1e-10 and gradient equivalence
 """
 
 from . import kernels
+from .backends import (DictStateBackend, Float16Codec, IdentityCodec,
+                       MemmapStateBackend, QuantizedCodec, StateBackend,
+                       StateCodec, resolve_backend, resolve_codec)
 from .engine import FusedEncoderRuntime
 from .store import EmbeddingStore, advance_entities, bulk_load_states
 from .training import (FusedForwardCache, FusedTrainStep, loss_gradient,
@@ -35,4 +40,7 @@ from .training import (FusedForwardCache, FusedTrainStep, loss_gradient,
 __all__ = ["kernels", "FusedEncoderRuntime", "EmbeddingStore",
            "advance_entities", "bulk_load_states", "FusedTrainStep",
            "FusedForwardCache", "loss_gradient", "softmax_head_gradient",
-           "softmax_head_probabilities", "resolve_engine"]
+           "softmax_head_probabilities", "resolve_engine",
+           "StateBackend", "DictStateBackend", "MemmapStateBackend",
+           "StateCodec", "IdentityCodec", "Float16Codec", "QuantizedCodec",
+           "resolve_backend", "resolve_codec"]

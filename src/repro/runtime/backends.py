@@ -1,0 +1,872 @@
+"""Pluggable state storage for the embedding stores: backends and codecs.
+
+The out-of-core redesign of the serving state layer: the paper targets a
+90M-card population (Section 4.3.1), which does not fit per-entity float
+dicts in RAM.  Two orthogonal contracts split the problem:
+
+- a :class:`StateBackend` owns **where** per-entity recurrent state
+  lives (``get`` / ``put`` / ``update_many`` / ``snapshot`` /
+  ``restore`` / ``bytes_per_entity``).  :class:`DictStateBackend` keeps
+  policy-dtype arrays in RAM — the historical behaviour and the default.
+  :class:`MemmapStateBackend` keeps fixed-capacity ``.npy`` shards on
+  disk, opened via ``np.load(..., mmap_mode="r")``, promotes an LRU of
+  hot shards into RAM and writes dirty shards back on eviction and
+  flush, so resident memory is bounded by ``cache_shards *
+  shard_capacity`` states regardless of entity count;
+- a :class:`StateCodec` owns **how** state blocks are encoded at rest.
+  :class:`IdentityCodec` stores raw policy-dtype arrays (lossless),
+  :class:`Float16Codec` halves them, and :class:`QuantizedCodec` wires
+  :mod:`repro.core.quantization` into int8/uint4 linear quantization
+  with per-shard minimum/scale metadata (4-bit codes packed
+  two-per-byte).
+
+Codecs apply **at rest** (shard files, snapshots); the runtime's
+``precision`` policy applies at compute.  The identity codec preserves
+the 1e-10 replay-vs-recompute contract on both backends; quantized
+codecs carry an explicit per-encode drift bound — ``scales / 2`` per
+dimension (:meth:`~repro.core.quantization.QuantizedEmbeddings.quantization_error`)
+— property-tested in ``tests/runtime/test_backends.py``.
+
+Both backends persist through one manifest-driven directory layout::
+
+    <dir>/
+      state_manifest.json          format, kind, dim, codec, shard count
+      shard_0000.hidden.npy        codec data array (codes or raw values)
+      shard_0000.cell.npy          LSTM only
+      shard_0000.meta.npz          entity ids, last-event times, codec meta
+
+which doubles as the :class:`MemmapStateBackend`'s live storage — a
+memmap directory can be reopened in place by a fresh backend.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+from collections import OrderedDict
+
+import numpy as np
+
+from ..nn.serialization import load_arrays, save_arrays
+
+__all__ = [
+    "StateCodec",
+    "IdentityCodec",
+    "Float16Codec",
+    "QuantizedCodec",
+    "resolve_codec",
+    "StateBackend",
+    "DictStateBackend",
+    "MemmapStateBackend",
+    "resolve_backend",
+]
+
+#: Format tag written into every state bundle manifest.
+STATE_FORMAT = "repro-state-v1"
+
+_MANIFEST_NAME = "state_manifest.json"
+
+#: Rows per on-disk shard when the dict backend snapshots (the block over
+#: which quantized codecs compute their minimum/scale metadata).
+SNAPSHOT_SHARD_ENTITIES = 4096
+
+
+def _quantization():
+    """Deferred import of :mod:`repro.core.quantization`.
+
+    ``repro.core``'s package init imports :mod:`repro.core.inference`,
+    which imports :mod:`repro.runtime` — importing the quantization
+    module at this module's import time would close that cycle while
+    both packages are half-initialised.  By first use every package is
+    fully loaded.
+    """
+    from ..core import quantization
+    return quantization
+
+
+# ----------------------------------------------------------------------
+# codecs: how state blocks are encoded at rest
+# ----------------------------------------------------------------------
+class StateCodec:
+    """At-rest encoding of ``(N, H)`` state blocks.
+
+    A codec turns a float state block into the arrays persisted on disk
+    and back.  ``encode`` returns a dict that always contains
+    :attr:`data_key` — the per-row data array, stored as a standalone
+    ``.npy`` so the memmap backend can open it lazily — plus any
+    per-block metadata arrays (quantization minimums/scales).
+    ``decode`` consumes the same dict.  Codecs are stateless and
+    shareable across backends and threads.
+    """
+
+    #: Name under which the codec registers (and its manifest spec).
+    name = "identity"
+    #: Key of the per-row data array within an encoded block.
+    data_key = "values"
+    #: Whether a decode reproduces the encoded block exactly.
+    lossless = True
+
+    def encode(self, block):
+        """Encode a ``(N, H)`` float block into persistable arrays."""
+        raise NotImplementedError
+
+    def decode(self, arrays, width, dtype):
+        """Decode :meth:`encode` output back to a ``(N, width)`` array.
+
+        Always returns a fresh, writable array in ``dtype`` (the
+        caller's compute/state dtype), never a view into the inputs —
+        the inputs may be read-only memmaps.
+        """
+        raise NotImplementedError
+
+    def values_nbytes(self, rows, width, dtype):
+        """At-rest bytes of the per-row data for ``rows`` states."""
+        raise NotImplementedError
+
+    def meta_nbytes(self, width, dtype):
+        """At-rest bytes of the per-block metadata (0 when none)."""
+        return 0
+
+    def spec(self):
+        """JSON-serialisable codec description for state manifests."""
+        return {"name": self.name}
+
+
+class IdentityCodec(StateCodec):
+    """Lossless codec: store the policy-dtype arrays as-is."""
+
+    name = "identity"
+
+    def encode(self, block):
+        """Pass the block through unchanged."""
+        return {"values": np.ascontiguousarray(block)}
+
+    def decode(self, arrays, width, dtype):
+        """Cast back to the requested dtype (fresh array)."""
+        return np.asarray(arrays["values"]).astype(dtype, copy=True)
+
+    def values_nbytes(self, rows, width, dtype):
+        """``rows * width`` values at the storage dtype's width."""
+        return rows * width * np.dtype(dtype).itemsize
+
+
+class Float16Codec(StateCodec):
+    """Half-precision at rest: 2 bytes per value, ~1e-3 relative error."""
+
+    name = "float16"
+    lossless = False
+
+    def encode(self, block):
+        """Down-cast the block to float16."""
+        return {"values": np.asarray(block, dtype=np.float16)}
+
+    def decode(self, arrays, width, dtype):
+        """Up-cast the stored float16 values to the compute dtype."""
+        return np.asarray(arrays["values"]).astype(dtype, copy=True)
+
+    def values_nbytes(self, rows, width, dtype):
+        """Two bytes per stored value."""
+        return rows * width * 2
+
+
+class QuantizedCodec(StateCodec):
+    """Linear quantization at rest via :mod:`repro.core.quantization`.
+
+    ``levels=256`` is the int8 codec (1 byte per value); ``levels<=16``
+    packs two 4-bit codes per byte (the paper's uint4 production
+    setting).  Minimums and scales are computed **per encoded block** —
+    one shard of the owning backend — and stored next to the codes, so
+    each shard dequantizes independently.  Reconstruction error is
+    bounded by ``scales / 2`` per dimension per encode
+    (:meth:`~repro.core.quantization.QuantizedEmbeddings.quantization_error`).
+    """
+
+    data_key = "codes"
+    lossless = False
+
+    def __init__(self, levels=256):
+        if levels < 2 or levels > 256:
+            raise ValueError("levels must be in [2, 256]")
+        self.levels = int(levels)
+        self.packed = self.levels <= 16
+        if self.levels == 256:
+            self.name = "int8"
+        elif self.levels == 16:
+            self.name = "uint4"
+        else:
+            self.name = "quant%d" % self.levels
+
+    def encode(self, block):
+        """Quantize a block; 4-bit codes pack two-per-byte."""
+        quant = _quantization()
+        block = np.asarray(block)
+        if block.shape[0] == 0:
+            width = block.shape[1]
+            stored = (width + 1) // 2 if self.packed else width
+            return {"codes": np.zeros((0, stored), dtype=np.uint8),
+                    "minimums": np.zeros(width, dtype=block.dtype),
+                    "scales": np.ones(width, dtype=block.dtype)}
+        encoded = quant.quantize_embeddings(block, levels=self.levels)
+        codes = (quant.pack_uint4(encoded.codes) if self.packed
+                 else encoded.codes)
+        return {"codes": codes, "minimums": encoded.minimums,
+                "scales": encoded.scales}
+
+    def decode(self, arrays, width, dtype):
+        """Dequantize stored codes back to the compute dtype."""
+        quant = _quantization()
+        codes = np.asarray(arrays["codes"])
+        if self.packed:
+            codes = quant.unpack_uint4(codes, width)
+        block = quant.QuantizedEmbeddings(
+            codes=codes, minimums=np.asarray(arrays["minimums"]),
+            scales=np.asarray(arrays["scales"]), levels=self.levels,
+        ).dequantize(dtype=dtype)
+        return np.ascontiguousarray(block)
+
+    def values_nbytes(self, rows, width, dtype):
+        """One byte per code, or one byte per two packed 4-bit codes."""
+        return rows * ((width + 1) // 2 if self.packed else width)
+
+    def meta_nbytes(self, width, dtype):
+        """Per-block minimums + scales, at the block's float dtype."""
+        return 2 * width * np.dtype(dtype).itemsize
+
+    def spec(self):
+        """Name plus the level count (needed to rebuild the codec)."""
+        return {"name": self.name, "levels": self.levels}
+
+
+#: Codec registry: spec string -> zero-arg constructor.
+CODECS = {
+    "identity": IdentityCodec,
+    "float16": Float16Codec,
+    "int8": lambda: QuantizedCodec(levels=256),
+    "uint4": lambda: QuantizedCodec(levels=16),
+}
+
+
+def resolve_codec(codec):
+    """Canonicalise a codec knob to a :class:`StateCodec` instance.
+
+    Accepts ``None`` (identity), a registry string (``"identity"``,
+    ``"float16"``, ``"int8"``, ``"uint4"``), a manifest spec dict
+    (``{"name": ..., "levels": ...}``), or an existing instance.
+    """
+    if codec is None:
+        return IdentityCodec()
+    if isinstance(codec, StateCodec):
+        return codec
+    if isinstance(codec, dict):
+        name = codec.get("name")
+        if "levels" in codec and name not in ("identity", "float16"):
+            return QuantizedCodec(levels=int(codec["levels"]))
+        codec = name
+    if isinstance(codec, str):
+        try:
+            return CODECS[codec]()
+        except KeyError:
+            raise ValueError(
+                "unknown state codec %r (use one of %s)"
+                % (codec, sorted(CODECS))
+            ) from None
+    raise TypeError("codec must be a name, spec dict or StateCodec "
+                    "(got %s)" % type(codec).__name__)
+
+
+# ----------------------------------------------------------------------
+# the shared on-disk state bundle format
+# ----------------------------------------------------------------------
+def _shard_files(directory, index):
+    """Paths of one shard's hidden / cell / metadata files."""
+    base = os.path.join(str(directory), "shard_%04d" % index)
+    return base + ".hidden.npy", base + ".cell.npy", base + ".meta.npz"
+
+
+def write_state_shard(directory, index, entity_ids, hidden, cell,
+                      last_times, codec):
+    """Persist one encoded state shard (data ``.npy`` + ``meta.npz``)."""
+    hidden_path, cell_path, meta_path = _shard_files(directory, index)
+    meta = {"entity_ids": np.asarray(entity_ids),
+            "last_times": np.asarray(last_times, dtype=np.float64)}
+    for field, block, path in (("hidden", hidden, hidden_path),
+                               ("cell", cell, cell_path)):
+        if block is None:
+            continue
+        encoded = codec.encode(block)
+        np.save(path, encoded.pop(codec.data_key))
+        for key, value in encoded.items():
+            meta["%s__%s" % (field, key)] = value
+    save_arrays(meta_path, meta)
+
+
+def read_state_shard(directory, index, codec, width, dtype, with_cell,
+                     mmap=True):
+    """Load one shard: ``(entity_ids, hidden, cell, last_times)``.
+
+    ``mmap=True`` opens the data arrays with ``mmap_mode="r"`` so only
+    the decoded shard is materialised in RAM; the decode itself always
+    returns fresh writable arrays.
+    """
+    hidden_path, cell_path, meta_path = _shard_files(directory, index)
+    meta = load_arrays(meta_path)
+
+    def field(name, path):
+        """Decode one field's data array + its prefixed metadata."""
+        arrays = {codec.data_key: np.load(path,
+                                          mmap_mode="r" if mmap else None)}
+        prefix = name + "__"
+        arrays.update({key[len(prefix):]: value for key, value in meta.items()
+                       if key.startswith(prefix)})
+        return codec.decode(arrays, width, dtype)
+
+    hidden = field("hidden", hidden_path)
+    cell = field("cell", cell_path) if with_cell else None
+    return meta["entity_ids"].tolist(), hidden, cell, meta["last_times"]
+
+
+def write_state_manifest(directory, kind, dim, codec, shards, entities,
+                         **extra):
+    """Write ``state_manifest.json`` describing a state bundle."""
+    manifest = {"format": STATE_FORMAT, "kind": kind, "dim": int(dim),
+                "codec": codec.spec(), "shards": int(shards),
+                "entities": int(entities)}
+    manifest.update(extra)
+    with open(os.path.join(str(directory), _MANIFEST_NAME), "w") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return manifest
+
+
+def read_state_manifest(directory):
+    """Read a bundle manifest; ``FileNotFoundError`` when absent."""
+    path = os.path.join(str(directory), _MANIFEST_NAME)
+    if not os.path.exists(path):
+        raise FileNotFoundError("no state bundle manifest at %r" % path)
+    with open(path) as handle:
+        return json.load(handle)
+
+
+# ----------------------------------------------------------------------
+# backends: where per-entity state lives
+# ----------------------------------------------------------------------
+class StateBackend:
+    """Where per-entity recurrent state lives — the storage protocol.
+
+    A backend stores ``(hidden, cell, last_time)`` triples keyed by
+    entity id on behalf of an :class:`~repro.runtime.EmbeddingStore`.
+    Lifecycle: construct (storage knobs only) → :meth:`attach` (the
+    owning store provides the state geometry, compute dtype and at-rest
+    codec) → ``get``/``put`` traffic → :meth:`snapshot` /
+    :meth:`restore` / :meth:`flush`.
+
+    Required overrides: :meth:`get`, :meth:`put`, :meth:`entity_ids`,
+    ``__len__``, ``__contains__``, :meth:`last_time`, :meth:`clear` and
+    :meth:`_snapshot_shards`.  ``update_many``, ``snapshot``,
+    ``restore``, ``flush`` and ``bytes_per_entity`` have shared default
+    implementations.
+    """
+
+    def __init__(self):
+        self.dim = None
+        self.kind = None
+        self.dtype = None
+        self.codec = None
+
+    # -- lifecycle ------------------------------------------------------
+    def attach(self, dim, kind, dtype, codec):
+        """Bind the backend to a store's state geometry and codec."""
+        if kind not in ("gru", "lstm"):
+            raise ValueError("kind must be 'gru' or 'lstm' (got %r)" % kind)
+        self.dim = int(dim)
+        self.kind = kind
+        self.dtype = np.dtype(dtype)
+        self.codec = resolve_codec(codec)
+        return self
+
+    @property
+    def is_lstm(self):
+        """Whether stored states carry a cell buffer."""
+        return self.kind == "lstm"
+
+    # -- required storage primitives -------------------------------------
+    def get(self, entity_id):
+        """``(hidden, cell, last_time)`` of an entity, or ``None``."""
+        raise NotImplementedError
+
+    def put(self, entity_id, hidden, cell, last_time):
+        """Store one entity's state (buffers owned by the backend)."""
+        raise NotImplementedError
+
+    def entity_ids(self):
+        """Iterable of every stored entity id (unordered)."""
+        raise NotImplementedError
+
+    def last_time(self, entity_id):
+        """Timestamp of the entity's last folded event, or ``None``."""
+        raise NotImplementedError
+
+    def clear(self):
+        """Drop all stored state."""
+        raise NotImplementedError
+
+    def __len__(self):
+        raise NotImplementedError
+
+    def __contains__(self, entity_id):
+        raise NotImplementedError
+
+    def _snapshot_shards(self):
+        """Yield ``(entity_ids, hidden, cell, last_times)`` blocks."""
+        raise NotImplementedError
+
+    # -- shared default implementations -----------------------------------
+    def update_many(self, items):
+        """Store a batch of ``(entity_id, hidden, cell, last_time)``."""
+        for entity_id, hidden, cell, last_time in items:
+            self.put(entity_id, hidden, cell, last_time)
+
+    def flush(self):
+        """Make pending writes durable (no-op for in-RAM backends)."""
+
+    def snapshot(self, directory):
+        """Write the full state bundle to ``directory``."""
+        directory = str(directory)
+        os.makedirs(directory, exist_ok=True)
+        count = 0
+        for ids, hidden, cell, last_times in self._snapshot_shards():
+            write_state_shard(directory, count, ids, hidden, cell,
+                              last_times, self.codec)
+            count += 1
+        write_state_manifest(directory, self.kind, self.dim, self.codec,
+                             count, len(self))
+
+    def restore(self, directory):
+        """Replace all state with a bundle written by :meth:`snapshot`.
+
+        The bundle decodes through **its own** recorded codec, then
+        re-encodes at rest through this backend's codec — so bundles
+        restore across codecs (and across backends; the layout is
+        shared).  Kind and state width must match.
+        """
+        manifest = read_state_manifest(directory)
+        if manifest.get("kind") != self.kind:
+            raise ValueError(
+                "snapshot holds %s states but the runtime encoder is %s"
+                % (manifest.get("kind"), self.kind)
+            )
+        if int(manifest.get("dim", -1)) != self.dim:
+            raise ValueError(
+                "snapshot state width (%s,) does not match encoder hidden "
+                "size %d" % (manifest.get("dim"), self.dim)
+            )
+        codec = resolve_codec(manifest.get("codec"))
+        self.clear()
+        for index in range(int(manifest.get("shards", 0))):
+            ids, hidden, cell, last_times = read_state_shard(
+                directory, index, codec, self.dim, self.dtype,
+                with_cell=self.is_lstm, mmap=False,
+            )
+            self.update_many(
+                (entity_id, hidden[row].copy(),
+                 cell[row].copy() if cell is not None else None,
+                 float(last_times[row]))
+                for row, entity_id in enumerate(ids)
+            )
+        self.flush()
+        return self
+
+    def _meta_block_entities(self):
+        """Entities per at-rest block (amortises codec metadata)."""
+        return SNAPSHOT_SHARD_ENTITIES
+
+    def bytes_per_entity(self):
+        """At-rest bytes per entity under this backend's codec + layout.
+
+        Counts the encoded state values, the per-shard codec metadata
+        amortised over the shard size, and the 8-byte last-event
+        timestamp.  The float64 in-RAM dict baseline is
+        ``dim * 8 + 8`` (``2 * dim * 8 + 8`` for LSTM); this is the
+        number recorded as ``bytes_per_entity`` in
+        ``BENCH_serving.json``.
+        """
+        block = max(1, self._meta_block_entities())
+        per_state = (self.codec.values_nbytes(1, self.dim, self.dtype)
+                     + self.codec.meta_nbytes(self.dim, self.dtype) / block)
+        if self.is_lstm:
+            per_state *= 2
+        return float(per_state + 8.0)
+
+    def stats(self):
+        """Backend telemetry (entity count; subclasses add their own)."""
+        return {"entities": len(self)}
+
+
+class DictStateBackend(StateBackend):
+    """In-RAM per-entity dicts — the historical default backend.
+
+    Live state is raw policy-dtype arrays (reads return the stored
+    buffers; callers must not mutate them).  The codec applies to
+    snapshots only: blocks of :data:`SNAPSHOT_SHARD_ENTITIES` entities
+    encode per block on :meth:`snapshot` and decode on :meth:`restore`.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self._hidden = {}
+        self._cell = {}
+        self._last = {}
+
+    def get(self, entity_id):
+        """The live stored buffers (do not mutate), or ``None``."""
+        hidden = self._hidden.get(entity_id)
+        if hidden is None:
+            return None
+        return hidden, self._cell.get(entity_id), self._last.get(entity_id)
+
+    def put(self, entity_id, hidden, cell, last_time):
+        """Store the given buffers (the backend takes ownership)."""
+        self._hidden[entity_id] = hidden
+        if cell is not None:
+            self._cell[entity_id] = cell
+        self._last[entity_id] = float(last_time)
+
+    def entity_ids(self):
+        """All stored entity ids."""
+        return list(self._hidden)
+
+    def last_time(self, entity_id):
+        """Last folded-event timestamp without touching the state."""
+        return self._last.get(entity_id)
+
+    def clear(self):
+        """Drop all stored state."""
+        self._hidden = {}
+        self._cell = {}
+        self._last = {}
+
+    def __len__(self):
+        return len(self._hidden)
+
+    def __contains__(self, entity_id):
+        return entity_id in self._hidden
+
+    def _snapshot_shards(self):
+        """Sorted ids in blocks of :data:`SNAPSHOT_SHARD_ENTITIES`."""
+        ids = sorted(self._hidden)
+        for start in range(0, len(ids), SNAPSHOT_SHARD_ENTITIES):
+            chunk = ids[start:start + SNAPSHOT_SHARD_ENTITIES]
+            hidden = np.stack([self._hidden[e] for e in chunk])
+            cell = (np.stack([self._cell[e] for e in chunk])
+                    if self.is_lstm else None)
+            last_times = np.asarray([self._last[e] for e in chunk])
+            yield chunk, hidden, cell, last_times
+
+
+class _HotShard:
+    """One memmap shard promoted to RAM: decoded buffers + dirty flag."""
+
+    __slots__ = ("hidden", "cell", "dirty")
+
+    def __init__(self, hidden, cell, dirty):
+        self.hidden = hidden
+        self.cell = cell
+        self.dirty = dirty
+
+
+class MemmapStateBackend(StateBackend):
+    """Out-of-core state: ``.npy`` memmap shards + an LRU of hot shards.
+
+    Entities append to fixed-capacity shards in arrival order (the
+    entity→(shard, row) index and last-event timestamps stay in RAM —
+    a few dozen bytes per entity; the *states* live on disk).  A read or
+    write promotes the owning shard into an LRU of at most
+    ``cache_shards`` decoded in-RAM shards; evicting a dirty shard
+    encodes it through the codec and writes it back.  :meth:`flush`
+    writes back every dirty hot shard and the manifest, after which the
+    directory is a complete state bundle that a fresh backend reopens in
+    place (construct with the same ``directory`` and attach).
+
+    Resident state memory is bounded by ``cache_shards * shard_capacity``
+    rows; everything else pages through the memmaps shard-by-shard.
+    """
+
+    def __init__(self, directory, shard_capacity=1024, cache_shards=4):
+        super().__init__()
+        if shard_capacity < 1:
+            raise ValueError("shard_capacity must be >= 1")
+        if cache_shards < 1:
+            raise ValueError("cache_shards must be >= 1")
+        self.directory = str(directory)
+        self.shard_capacity = int(shard_capacity)
+        self.cache_shards = int(cache_shards)
+        self._index = {}        # entity id -> (shard, row)
+        self._last = {}         # entity id -> float timestamp
+        self._shard_ids = []    # shard -> [entity ids in row order]
+        self._hot = OrderedDict()  # shard -> _HotShard (LRU order)
+        self.evictions = 0
+        self.shard_loads = 0
+
+    # -- lifecycle ------------------------------------------------------
+    def attach(self, dim, kind, dtype, codec):
+        """Bind geometry/codec; reopen the directory if it holds state."""
+        super().attach(dim, kind, dtype, codec)
+        os.makedirs(self.directory, exist_ok=True)
+        if os.path.exists(os.path.join(self.directory, _MANIFEST_NAME)):
+            self._reopen()
+        return self
+
+    def _reopen(self):
+        """Adopt an existing state bundle in ``directory`` as live state."""
+        manifest = read_state_manifest(self.directory)
+        if manifest.get("kind") != self.kind:
+            raise ValueError(
+                "state directory %r holds %s states but the runtime encoder "
+                "is %s" % (self.directory, manifest.get("kind"), self.kind)
+            )
+        if int(manifest.get("dim", -1)) != self.dim:
+            raise ValueError(
+                "state directory %r holds width-%s states but the encoder "
+                "hidden size is %d"
+                % (self.directory, manifest.get("dim"), self.dim)
+            )
+        if resolve_codec(manifest.get("codec")).spec() != self.codec.spec():
+            raise ValueError(
+                "state directory %r was written with codec %r but this "
+                "backend is configured with %r — pass the matching codec "
+                "(or restore() through a snapshot to transcode)"
+                % (self.directory, manifest.get("codec"), self.codec.spec())
+            )
+        self._index = {}
+        self._last = {}
+        self._shard_ids = []
+        self._hot = OrderedDict()
+        for shard in range(int(manifest.get("shards", 0))):
+            meta = load_arrays(_shard_files(self.directory, shard)[2])
+            ids = meta["entity_ids"].tolist()
+            self._shard_ids.append(ids)
+            for row, entity_id in enumerate(ids):
+                self._index[entity_id] = (shard, row)
+                self._last[entity_id] = float(meta["last_times"][row])
+
+    # -- shard plumbing ---------------------------------------------------
+    def _new_hot(self, dirty):
+        """A zeroed capacity-sized hot shard buffer pair."""
+        hidden = np.zeros((self.shard_capacity, self.dim), dtype=self.dtype)
+        cell = (np.zeros((self.shard_capacity, self.dim), dtype=self.dtype)
+                if self.is_lstm else None)
+        return _HotShard(hidden, cell, dirty)
+
+    def _admit(self, shard, hot):
+        """Insert a shard into the LRU, evicting (and writing back) LRUs."""
+        self._hot[shard] = hot
+        self._hot.move_to_end(shard)
+        while len(self._hot) > self.cache_shards:
+            old_shard, old_hot = self._hot.popitem(last=False)
+            if old_hot.dirty:
+                self._write_shard(old_shard, old_hot)
+            self.evictions += 1
+
+    def _load_shard(self, shard):
+        """The hot buffer of ``shard``, promoting it from disk if cold."""
+        hot = self._hot.get(shard)
+        if hot is not None:
+            self._hot.move_to_end(shard)
+            return hot
+        hot = self._new_hot(dirty=False)
+        meta_path = _shard_files(self.directory, shard)[2]
+        if os.path.exists(meta_path):
+            _, hidden, cell, _ = read_state_shard(
+                self.directory, shard, self.codec, self.dim, self.dtype,
+                with_cell=self.is_lstm,
+            )
+            hot.hidden[:hidden.shape[0]] = hidden
+            if self.is_lstm:
+                hot.cell[:cell.shape[0]] = cell
+            self.shard_loads += 1
+        self._admit(shard, hot)
+        return hot
+
+    def _write_shard(self, shard, hot):
+        """Encode and persist one shard's used rows."""
+        ids = self._shard_ids[shard]
+        rows = len(ids)
+        last_times = np.asarray([self._last[e] for e in ids])
+        write_state_shard(
+            self.directory, shard, ids, hot.hidden[:rows],
+            hot.cell[:rows] if self.is_lstm else None, last_times,
+            self.codec,
+        )
+        hot.dirty = False
+
+    def _reserve(self, entity_id):
+        """Assign a (shard, row) slot to a new entity (no data write)."""
+        if (not self._shard_ids
+                or len(self._shard_ids[-1]) >= self.shard_capacity):
+            self._shard_ids.append([])
+            self._admit(len(self._shard_ids) - 1, self._new_hot(dirty=True))
+        shard = len(self._shard_ids) - 1
+        row = len(self._shard_ids[shard])
+        self._shard_ids[shard].append(entity_id)
+        self._index[entity_id] = (shard, row)
+        return shard, row
+
+    # -- the storage protocol ----------------------------------------------
+    def get(self, entity_id):
+        """Decode one entity's state (fresh copies), or ``None``."""
+        location = self._index.get(entity_id)
+        if location is None:
+            return None
+        shard, row = location
+        hot = self._load_shard(shard)
+        hidden = hot.hidden[row].copy()
+        cell = hot.cell[row].copy() if self.is_lstm else None
+        return hidden, cell, self._last.get(entity_id)
+
+    def put(self, entity_id, hidden, cell, last_time):
+        """Write one entity's state into its (possibly new) shard row."""
+        location = self._index.get(entity_id)
+        if location is None:
+            location = self._reserve(entity_id)
+        shard, row = location
+        hot = self._load_shard(shard)
+        hot.hidden[row] = hidden
+        if self.is_lstm:
+            hot.cell[row] = cell
+        hot.dirty = True
+        self._last[entity_id] = float(last_time)
+
+    def update_many(self, items):
+        """Batched put with shard-local write order.
+
+        New entities reserve rows in input order (allocation stays
+        deterministic), then writes group by shard so a batch touching
+        many shards promotes each one once instead of ping-ponging
+        through the LRU.
+        """
+        items = list(items)
+        for entity_id, _, _, last_time in items:
+            if entity_id not in self._index:
+                self._reserve(entity_id)
+                # A reserved row's shard can be evicted (and written back)
+                # before its put below — give it a timestamp already.
+                self._last[entity_id] = float(last_time)
+        items.sort(key=lambda item: self._index[item[0]])
+        for entity_id, hidden, cell, last_time in items:
+            self.put(entity_id, hidden, cell, last_time)
+
+    def entity_ids(self):
+        """All stored entity ids."""
+        return list(self._index)
+
+    def last_time(self, entity_id):
+        """Last folded-event timestamp (RAM index; no shard touch)."""
+        return self._last.get(entity_id)
+
+    def clear(self):
+        """Forget all live state (stale files are overwritten lazily)."""
+        self._index = {}
+        self._last = {}
+        self._shard_ids = []
+        self._hot = OrderedDict()
+
+    def __len__(self):
+        return len(self._index)
+
+    def __contains__(self, entity_id):
+        return entity_id in self._index
+
+    # -- durability ---------------------------------------------------------
+    def flush(self):
+        """Write back every dirty hot shard + the bundle manifest."""
+        for shard, hot in self._hot.items():
+            if hot.dirty:
+                self._write_shard(shard, hot)
+        write_state_manifest(self.directory, self.kind, self.dim, self.codec,
+                             len(self._shard_ids), len(self),
+                             shard_capacity=self.shard_capacity)
+
+    def snapshot(self, directory):
+        """Flush, then copy the encoded shard files verbatim.
+
+        Verbatim copies keep quantized snapshots **lossless relative to
+        the live files** — no decode/re-encode cycle, so snapshotting
+        never adds drift.  Snapshotting into the live directory is just
+        a flush.
+        """
+        self.flush()
+        target = os.path.abspath(str(directory))
+        if target == os.path.abspath(self.directory):
+            return
+        os.makedirs(target, exist_ok=True)
+        for shard in range(len(self._shard_ids)):
+            sources = _shard_files(self.directory, shard)
+            destinations = _shard_files(target, shard)
+            for source, destination in zip(sources, destinations):
+                if os.path.exists(source):
+                    shutil.copyfile(source, destination)
+        write_state_manifest(target, self.kind, self.dim, self.codec,
+                             len(self._shard_ids), len(self),
+                             shard_capacity=self.shard_capacity)
+
+    def _meta_block_entities(self):
+        """Codec metadata amortises over one shard's capacity."""
+        return self.shard_capacity
+
+    def _snapshot_shards(self):
+        """Decoded shard blocks (used only by cross-backend copies)."""
+        for shard, ids in enumerate(self._shard_ids):
+            hot = self._load_shard(shard)
+            rows = len(ids)
+            yield (list(ids), hot.hidden[:rows].copy(),
+                   hot.cell[:rows].copy() if self.is_lstm else None,
+                   np.asarray([self._last[e] for e in ids]))
+
+    def stats(self):
+        """Shard/LRU telemetry on top of the base entity count."""
+        stats = super().stats()
+        stats.update({
+            "shards": len(self._shard_ids),
+            "hot_shards": len(self._hot),
+            "shard_capacity": self.shard_capacity,
+            "cache_shards": self.cache_shards,
+            "evictions": self.evictions,
+            "shard_loads": self.shard_loads,
+        })
+        return stats
+
+
+def resolve_backend(backend, backend_dir=None):
+    """Canonicalise a backend knob to a :class:`StateBackend` instance.
+
+    Accepts ``None``/``"dict"`` (a fresh :class:`DictStateBackend`),
+    ``"memmap"`` (a :class:`MemmapStateBackend` rooted at
+    ``backend_dir``, which is then required), a zero-arg callable
+    factory, or an existing instance (``backend_dir`` must be ``None``).
+    """
+    if isinstance(backend, StateBackend):
+        if backend_dir is not None:
+            raise ValueError(
+                "backend_dir conflicts with an explicit StateBackend "
+                "instance — the instance already owns its directory"
+            )
+        return backend
+    if callable(backend):
+        backend = backend()
+        if not isinstance(backend, StateBackend):
+            raise TypeError("backend factory must return a StateBackend")
+        return backend
+    if backend is None or backend == "dict":
+        return DictStateBackend()
+    if backend == "memmap":
+        if backend_dir is None:
+            raise ValueError(
+                "backend='memmap' needs a directory: pass backend_dir=... "
+                "(or construct MemmapStateBackend(directory) yourself)"
+            )
+        return MemmapStateBackend(backend_dir)
+    raise ValueError(
+        "unknown state backend %r (use 'dict', 'memmap', a factory, or a "
+        "StateBackend instance)" % (backend,)
+    )

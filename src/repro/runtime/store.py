@@ -14,19 +14,30 @@ state:
 - :meth:`update_many` does the same for a *batch* of heterogeneous
   entities at once through :func:`advance_entities` — the micro-batched
   ingestion path of :mod:`repro.serving`;
-- :meth:`snapshot` / :meth:`restore` persist the store between ETL runs
-  via the shared ``.npz`` serialization layer.
+- :meth:`save` / :meth:`load` persist the store between ETL runs as a
+  manifest-driven state bundle (``snapshot``/``restore`` remain as
+  deprecated aliases; :meth:`load` still reads the legacy flat ``.npz``).
+
+*Where* the states live — and how they are encoded at rest — is delegated
+to a pluggable :class:`~repro.runtime.StateBackend` +
+:class:`~repro.runtime.StateCodec` pair (:mod:`repro.runtime.backends`):
+the default in-RAM dict backend preserves the historical behaviour, while
+the memmap backend pages fixed-capacity shards from disk so entity count
+is no longer bounded by RAM.
 """
 
 from __future__ import annotations
 
+import os
+import warnings
 from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 
 from ..data.batches import collate
 from ..data.bucketing import plan_batches
-from ..nn.serialization import load_arrays, save_arrays
+from ..nn.serialization import load_arrays
+from .backends import resolve_backend
 from .engine import FusedEncoderRuntime
 
 __all__ = ["EmbeddingStore", "advance_entities", "bulk_load_states"]
@@ -91,7 +102,8 @@ def advance_entities(runtime, sequences, schema, state_of, put_state,
         Callable ``(entity_id, hidden, cell, last_time)`` — the state
         sink.  The two callables let one routine serve both a flat
         :class:`EmbeddingStore` and the shard-routed store of
-        :mod:`repro.serving`.
+        :mod:`repro.serving` — over any
+        :class:`~repro.runtime.StateBackend`.
     batch_size:
         Rows per fused batch (the bucketed plan's batch size).
     workers:
@@ -165,7 +177,11 @@ class EmbeddingStore:
     """Per-entity embedding/state registry backed by a fused runtime.
 
     States are stored in the runtime's policy dtype (float32 halves the
-    per-entity footprint; float64 is the parity reference).
+    per-entity footprint; float64 is the parity reference) inside a
+    pluggable :class:`~repro.runtime.StateBackend`; a
+    :class:`~repro.runtime.StateCodec` controls the at-rest encoding
+    (shard files and state bundles) independently of the compute
+    precision.
 
     Parameters
     ----------
@@ -178,9 +194,21 @@ class EmbeddingStore:
         agree — the store has exactly one state dtype.
     workers:
         Bucket-parallel worker count forwarded to the runtime.
+    backend:
+        Where state lives: ``"dict"``/None (in-RAM, the default),
+        ``"memmap"`` (out-of-core shards rooted at ``backend_dir``), a
+        zero-arg factory, or a :class:`~repro.runtime.StateBackend`
+        instance.
+    codec:
+        At-rest encoding: ``"identity"``/None (lossless, the default),
+        ``"float16"``, ``"int8"``, ``"uint4"``, or a
+        :class:`~repro.runtime.StateCodec` instance.
+    backend_dir:
+        Root directory of the ``"memmap"`` backend's live shards.
     """
 
-    def __init__(self, encoder, precision=None, workers=None):
+    def __init__(self, encoder, precision=None, workers=None, backend=None,
+                 codec=None, backend_dir=None):
         if isinstance(encoder, FusedEncoderRuntime):
             self.runtime = encoder
             if (precision is not None
@@ -198,26 +226,32 @@ class EmbeddingStore:
             if workers is not None:
                 kwargs["workers"] = workers
             self.runtime = FusedEncoderRuntime(encoder, **kwargs)
-        self._hidden = {}      # entity id -> (H,) policy dtype
-        self._cell = {}        # entity id -> (H,) policy dtype (LSTM only)
-        self._last_times = {}  # entity id -> float timestamp of last event
+        self.backend = resolve_backend(backend, backend_dir).attach(
+            self.runtime.output_dim,
+            "lstm" if self.runtime.is_lstm else "gru",
+            self.runtime.dtype, codec,
+        )
 
     # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
     def __len__(self):
-        return len(self._hidden)
+        return len(self.backend)
 
     def __contains__(self, entity_id):
-        return entity_id in self._hidden
+        return entity_id in self.backend
 
     def known_entities(self):
         """Sorted ids of every entity with stored state."""
-        return sorted(self._hidden)
+        return sorted(self.backend.entity_ids())
 
     def last_time(self, entity_id):
         """Timestamp of the entity's most recent folded event (or None)."""
-        return self._last_times.get(entity_id)
+        return self.backend.last_time(entity_id)
+
+    def bytes_per_entity(self):
+        """At-rest bytes per entity under the backend's codec + layout."""
+        return self.backend.bytes_per_entity()
 
     # ------------------------------------------------------------------
     # raw state access (the advance_entities source/sink protocol)
@@ -225,21 +259,19 @@ class EmbeddingStore:
     def state_of(self, entity_id):
         """``(hidden, cell, last_time)`` of a known entity, else None.
 
-        ``cell`` is None for GRU runtimes.  The buffers are the live
-        stored arrays — callers must not mutate them.
+        ``cell`` is None for GRU runtimes.  The buffers are backend-owned
+        (the dict backend hands out its live arrays) — callers must not
+        mutate them.
         """
-        hidden = self._hidden.get(entity_id)
-        if hidden is None:
-            return None
-        return (hidden, self._cell.get(entity_id),
-                self._last_times.get(entity_id))
+        return self.backend.get(entity_id)
 
     def put_state(self, entity_id, hidden, cell=None, last_time=None):
         """Record an entity's recurrent state (copies the buffers).
 
         ``last_time`` — the timestamp of the entity's latest folded event
         — is mandatory: without it the boundary time-delta of the next
-        incremental update (and the snapshot format) would be undefined.
+        incremental update (and the state bundle format) would be
+        undefined.
         """
         if last_time is None:
             raise ValueError("put_state requires the entity's last event "
@@ -248,10 +280,10 @@ class EmbeddingStore:
         if self.runtime.is_lstm:
             if cell is None:
                 raise ValueError("LSTM states require a cell buffer")
-            self._cell[entity_id] = np.array(cell, dtype=self.runtime.dtype,
-                                             copy=True)
-        self._hidden[entity_id] = hidden
-        self._last_times[entity_id] = float(last_time)
+            cell = np.array(cell, dtype=self.runtime.dtype, copy=True)
+        else:
+            cell = None
+        self.backend.put(entity_id, hidden, cell, float(last_time))
 
     # ------------------------------------------------------------------
     # bulk path
@@ -271,11 +303,12 @@ class EmbeddingStore:
     # ------------------------------------------------------------------
     def _state_rows(self, entity_id):
         """The entity's stored state as (1, H) buffers, or None if new."""
-        hidden = self._hidden.get(entity_id)
-        if hidden is None:
+        state = self.backend.get(entity_id)
+        if state is None:
             return None
+        hidden, cell, _ = state
         if self.runtime.is_lstm:
-            return hidden[None, :], self._cell[entity_id][None, :]
+            return hidden[None, :], cell[None, :]
         return hidden[None, :]
 
     def update(self, entity_id, events, schema):
@@ -288,7 +321,7 @@ class EmbeddingStore:
         if len(events) == 0:
             raise ValueError("update requires at least one new event")
         batch = collate([events], schema)
-        prev_time = self._last_times.get(entity_id)
+        prev_time = self.backend.last_time(entity_id)
         prev_times = None if prev_time is None else np.array([prev_time])
         state = self.runtime.advance(batch, initial=self._state_rows(entity_id),
                                      prev_times=prev_times)
@@ -314,10 +347,10 @@ class EmbeddingStore:
 
     def embedding(self, entity_id):
         """Current embedding of one entity, ``(d,)``."""
-        if entity_id not in self._hidden:
+        state = self.backend.get(entity_id)
+        if state is None:
             raise KeyError("unknown entity %r" % entity_id)
-        hidden = self._hidden[entity_id][None, :]
-        return self.runtime.head(hidden)[0]
+        return self.runtime.head(state[0][None, :])[0]
 
     def embeddings(self, entity_ids=None):
         """Embedding matrix for ``entity_ids`` (default: all known, sorted)."""
@@ -329,30 +362,56 @@ class EmbeddingStore:
         return self.runtime.head(hidden)
 
     def _state_row_checked(self, entity_id):
-        if entity_id not in self._hidden:
+        state = self.backend.get(entity_id)
+        if state is None:
             raise KeyError("unknown entity %r" % entity_id)
-        return self._hidden[entity_id]
+        return state[0]
 
     # ------------------------------------------------------------------
     # persistence
     # ------------------------------------------------------------------
+    def flush(self):
+        """Make pending backend writes durable (memmap write-back)."""
+        self.backend.flush()
+
+    def save(self, path):
+        """Write the store's state bundle to directory ``path``.
+
+        The bundle is the manifest-driven layout of
+        :mod:`repro.runtime.backends` (``state_manifest.json`` plus
+        per-shard ``.npy``/``.npz`` files), encoded through the store's
+        codec.  Any backend can :meth:`load` a bundle written by any
+        other.
+        """
+        self.backend.snapshot(path)
+
+    def load(self, path):
+        """Load a state bundle (or legacy flat ``.npz``); returns self.
+
+        ``path`` is either a bundle directory written by :meth:`save` or
+        a flat ``.npz`` file written by the pre-backend ``snapshot()`` —
+        the legacy format stays readable so existing snapshots survive
+        the API change.
+        """
+        if os.path.isfile(str(path)):
+            return self._load_legacy_npz(path)
+        self.backend.restore(path)
+        return self
+
     def snapshot(self, path):
-        """Write all per-entity states to ``path`` (npz)."""
-        ids = self.known_entities()
-        arrays = {
-            "entity_ids": np.asarray(ids),
-            "hidden": (np.stack([self._hidden[e] for e in ids]) if ids
-                       else np.zeros((0, self.runtime.output_dim))),
-            "last_times": np.asarray([self._last_times[e] for e in ids]),
-            "kind": np.asarray("lstm" if self.runtime.is_lstm else "gru"),
-        }
-        if self.runtime.is_lstm:
-            arrays["cell"] = (np.stack([self._cell[e] for e in ids]) if ids
-                              else np.zeros((0, self.runtime.output_dim)))
-        save_arrays(path, arrays)
+        """Deprecated alias of :meth:`save` (kept for API stability)."""
+        warnings.warn("EmbeddingStore.snapshot() is deprecated; use "
+                      "save(path)", DeprecationWarning, stacklevel=2)
+        self.save(path)
 
     def restore(self, path):
-        """Load a snapshot written by :meth:`snapshot`; returns self."""
+        """Deprecated alias of :meth:`load` (kept for API stability)."""
+        warnings.warn("EmbeddingStore.restore() is deprecated; use "
+                      "load(path)", DeprecationWarning, stacklevel=2)
+        return self.load(path)
+
+    def _load_legacy_npz(self, path):
+        """Read the pre-backend single-``.npz`` snapshot format."""
         arrays = load_arrays(path)
         kind = str(arrays["kind"])
         expected = "lstm" if self.runtime.is_lstm else "gru"
@@ -367,14 +426,14 @@ class EmbeddingStore:
                 "snapshot state width %s does not match encoder hidden size %d"
                 % (hidden.shape[1:], self.runtime.output_dim)
             )
-        self._hidden = {}
-        self._cell = {}
-        self._last_times = {}
         dtype = self.runtime.dtype
-        for row, entity_id in enumerate(arrays["entity_ids"].tolist()):
-            self._hidden[entity_id] = np.asarray(hidden[row], dtype=dtype)
-            if self.runtime.is_lstm:
-                self._cell[entity_id] = np.asarray(arrays["cell"][row],
-                                                   dtype=dtype)
-            self._last_times[entity_id] = float(arrays["last_times"][row])
+        self.backend.clear()
+        self.backend.update_many(
+            (entity_id, np.asarray(hidden[row], dtype=dtype),
+             (np.asarray(arrays["cell"][row], dtype=dtype)
+              if self.runtime.is_lstm else None),
+             float(arrays["last_times"][row]))
+            for row, entity_id in enumerate(arrays["entity_ids"].tolist())
+        )
+        self.backend.flush()
         return self

@@ -6,7 +6,10 @@ package turns it into a *service* shaped like the paper's production ETL
 
 - :class:`ShardedEmbeddingStore` — per-entity state hash-partitioned over
   independent :class:`~repro.runtime.EmbeddingStore` shards (per-shard
-  npz snapshots, deterministic routing), compute still globally batched;
+  state bundles, deterministic routing, pluggable
+  :class:`~repro.runtime.StateBackend` storage and
+  :class:`~repro.runtime.StateCodec` at-rest encoding), compute still
+  globally batched;
 - :class:`MicroBatcher` — buffers per-entity event chunks and drains them
   as length-bucketed fused batches via
   :func:`repro.runtime.advance_entities` instead of one kernel call per
@@ -14,7 +17,7 @@ package turns it into a *service* shaped like the paper's production ETL
 - :class:`EmbeddingCache` — LRU hot-embedding cache, invalidated the
   moment an entity's state advances;
 - :class:`EmbeddingService` — the facade (``ingest`` / ``flush`` /
-  ``query`` / ``snapshot`` / ``restore``) plus replayable event logs
+  ``query`` / ``save`` / ``load``) plus replayable event logs
   (:func:`build_event_log`, :func:`replay_event_log`) used by the
   deployment example and the equivalence tests.
 """

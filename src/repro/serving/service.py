@@ -12,8 +12,13 @@ serving stack:
 - **query(entity_ids)** serves embeddings through an LRU
   :class:`~repro.serving.EmbeddingCache`, flushing first whenever a
   requested entity has buffered events so a read is never stale;
-- **snapshot(dir)/restore(dir)** persist the sharded state between
-  workers.
+- **save(dir)/load(dir)** persist the sharded state between workers
+  (``snapshot``/``restore`` remain as deprecated aliases).
+
+Where state lives is a construction knob: ``backend="memmap"`` (with
+``backend_dir=...``) pages per-shard states from disk instead of RAM,
+and ``codec="int8"``/``"uint4"``/``"float16"`` compresses them at rest —
+see :mod:`repro.runtime.backends`.
 
 Embeddings served this way match a cold
 :meth:`~repro.runtime.FusedEncoderRuntime.embed_dataset` recompute of the
@@ -21,6 +26,8 @@ full history to < 1e-10 — asserted by ``tests/serving/``.
 """
 
 from __future__ import annotations
+
+import warnings
 
 import numpy as np
 
@@ -57,14 +64,27 @@ class EmbeddingService:
     workers:
         Bucket-parallel worker count for flushes and bulk loads (None:
         the runtime default, serial; any value is bit-identical).
+    backend:
+        Per-shard state storage forwarded to the sharded store:
+        ``"dict"``/None (in-RAM, the default), ``"memmap"`` (out-of-core
+        shards under ``backend_dir``), or a one-arg factory
+        ``index -> StateBackend``.
+    codec:
+        At-rest :class:`~repro.runtime.StateCodec` (``"identity"``/None,
+        ``"float16"``, ``"int8"``, ``"uint4"``); applies to shard files
+        and state bundles, orthogonal to ``precision``.
+    backend_dir:
+        Root directory of the ``"memmap"`` backend's per-shard state.
     """
 
     def __init__(self, encoder, schema, num_shards=8, cache_capacity=1024,
                  flush_events=256, batch_size=64, precision=None,
-                 workers=None):
+                 workers=None, backend=None, codec=None, backend_dir=None):
         self.store = ShardedEmbeddingStore(encoder, num_shards=num_shards,
                                            precision=precision,
-                                           workers=workers)
+                                           workers=workers, backend=backend,
+                                           codec=codec,
+                                           backend_dir=backend_dir)
         self.schema = schema
         self.batch_size = int(batch_size)
         self.cache = EmbeddingCache(cache_capacity)
@@ -178,13 +198,13 @@ class EmbeddingService:
     # ------------------------------------------------------------------
     # persistence
     # ------------------------------------------------------------------
-    def snapshot(self, directory):
-        """Flush pending updates, then snapshot every shard to a dir."""
+    def save(self, directory):
+        """Flush pending updates, then write the sharded state bundle."""
         self.flush()
-        self.store.snapshot(directory)
+        self.store.save(directory)
 
-    def restore(self, directory):
-        """Replace all serving state with a snapshot; returns self.
+    def load(self, directory):
+        """Replace all serving state with a saved bundle; returns self.
 
         Refuses while updates are buffered — flush (or discard the
         service) first, restoring under pending events would silently
@@ -195,9 +215,21 @@ class EmbeddingService:
                 "cannot restore with %d buffered events pending: call "
                 "flush() first" % self.batcher.pending_events
             )
-        self.store.restore(directory)
+        self.store.load(directory)
         self.cache.clear()
         return self
+
+    def snapshot(self, directory):
+        """Deprecated alias of :meth:`save` (kept for API stability)."""
+        warnings.warn("EmbeddingService.snapshot() is deprecated; use "
+                      "save(directory)", DeprecationWarning, stacklevel=2)
+        self.save(directory)
+
+    def restore(self, directory):
+        """Deprecated alias of :meth:`load` (kept for API stability)."""
+        warnings.warn("EmbeddingService.restore() is deprecated; use "
+                      "load(directory)", DeprecationWarning, stacklevel=2)
+        return self.load(directory)
 
     # ------------------------------------------------------------------
     def stats(self):
@@ -212,4 +244,5 @@ class EmbeddingService:
             "queries": self.queries,
             "cache": self.cache.stats(),
             "shard_sizes": self.store.shard_sizes(),
+            "bytes_per_entity": self.store.bytes_per_entity(),
         }

@@ -12,8 +12,13 @@ partitioned:
 - routing is deterministic across processes (CRC32 of the id's repr, not
   Python's salted ``hash``), so a snapshot written by one worker restores
   into any other;
-- snapshots are one ``.npz`` per shard plus a manifest, restored
-  shard-by-shard;
+- each routing shard owns its own :class:`~repro.runtime.StateBackend`
+  (in-RAM dicts by default; ``backend="memmap"`` pages each shard's
+  states from its own directory under ``backend_dir``) and encodes at
+  rest through a shared :class:`~repro.runtime.StateCodec`;
+- state bundles are one sub-directory per shard plus a JSON manifest
+  (:meth:`~ShardedEmbeddingStore.save` / :meth:`~ShardedEmbeddingStore.load`;
+  the legacy per-shard ``.npz`` snapshots stay readable);
 - bulk loads and micro-batched updates batch *across* shards — the fused
   kernels see the global length-bucketed plan, and final states scatter to
   their owning shards.
@@ -21,18 +26,26 @@ partitioned:
 
 from __future__ import annotations
 
+import json
 import os
+import warnings
 import zlib
 
 import numpy as np
 
-from ..nn.serialization import load_arrays, save_arrays
+from ..nn.serialization import load_arrays
 from ..runtime import EmbeddingStore, FusedEncoderRuntime
+from ..runtime.backends import (MemmapStateBackend, StateBackend,
+                                resolve_backend)
 from ..runtime.store import advance_entities, bulk_load_states
 
 __all__ = ["ShardedEmbeddingStore", "route_entity"]
 
-_MANIFEST = "manifest.npz"
+_LEGACY_MANIFEST = "manifest.npz"
+_MANIFEST = "manifest.json"
+
+#: Format tag of the sharded state bundle manifest.
+SHARDED_FORMAT = "repro-sharded-state-v1"
 
 
 def route_entity(entity_id, num_shards):
@@ -55,16 +68,69 @@ def route_entity(entity_id, num_shards):
     return zlib.crc32(key.encode("utf-8")) % num_shards
 
 
+def _shard_backends(backend, backend_dir, num_shards):
+    """One :class:`StateBackend` per routing shard.
+
+    ``backend`` may be ``None``/``"dict"`` (fresh dict backends),
+    ``"memmap"`` (per-shard :class:`MemmapStateBackend` directories
+    ``state_%04d`` under ``backend_dir``), or a one-arg callable
+    ``index -> StateBackend``.  A single shared instance is rejected:
+    shards own disjoint state and cannot alias one backend.
+    """
+    if isinstance(backend, StateBackend):
+        raise ValueError(
+            "a sharded store needs one backend per shard — pass a factory "
+            "callable (index -> StateBackend) instead of a single instance"
+        )
+    if backend == "memmap":
+        if backend_dir is None:
+            raise ValueError(
+                "backend='memmap' needs a directory: pass backend_dir=..."
+            )
+        return [MemmapStateBackend(os.path.join(str(backend_dir),
+                                                "state_%04d" % index))
+                for index in range(num_shards)]
+    if callable(backend):
+        backends = [backend(index) for index in range(num_shards)]
+        for candidate in backends:
+            if not isinstance(candidate, StateBackend):
+                raise TypeError("backend factory must return a StateBackend")
+        if len(set(map(id, backends))) != num_shards:
+            raise ValueError("backend factory returned the same instance "
+                             "for multiple shards")
+        return backends
+    return [resolve_backend(backend) for _ in range(num_shards)]
+
+
 class ShardedEmbeddingStore:
     """Entity states hash-partitioned over ``num_shards`` embedding stores.
 
     Mirrors the :class:`~repro.runtime.EmbeddingStore` API (membership,
     ``embedding``/``embeddings``, ``bulk_load``, ``update``,
-    ``update_many``, ``snapshot``/``restore``) so callers can swap a flat
-    store for a sharded one without code changes.
+    ``update_many``, ``save``/``load``) so callers can swap a flat store
+    for a sharded one without code changes.
+
+    Parameters
+    ----------
+    encoder:
+        A trained recurrent encoder or an existing
+        :class:`~repro.runtime.FusedEncoderRuntime`.
+    num_shards:
+        Routing partitions (fixed for the store's lifetime — routing is
+        a function of the count).
+    precision, workers:
+        Runtime policy knobs, as on :class:`~repro.runtime.EmbeddingStore`.
+    backend:
+        Per-shard state storage: ``"dict"``/None, ``"memmap"`` (rooted at
+        ``backend_dir``), or a one-arg factory ``index -> StateBackend``.
+    codec:
+        At-rest :class:`~repro.runtime.StateCodec` shared by all shards.
+    backend_dir:
+        Root directory of the ``"memmap"`` backend's per-shard state.
     """
 
-    def __init__(self, encoder, num_shards=8, precision=None, workers=None):
+    def __init__(self, encoder, num_shards=8, precision=None, workers=None,
+                 backend=None, codec=None, backend_dir=None):
         if num_shards < 1:
             raise ValueError("num_shards must be >= 1")
         if isinstance(encoder, FusedEncoderRuntime):
@@ -84,8 +150,11 @@ class ShardedEmbeddingStore:
                 kwargs["workers"] = workers
             self.runtime = FusedEncoderRuntime(encoder, **kwargs)
         self.num_shards = int(num_shards)
-        self.shards = [EmbeddingStore(self.runtime)
-                       for _ in range(self.num_shards)]
+        self.shards = [
+            EmbeddingStore(self.runtime, backend=shard_backend, codec=codec)
+            for shard_backend in _shard_backends(backend, backend_dir,
+                                                 self.num_shards)
+        ]
 
     # ------------------------------------------------------------------
     # routing
@@ -101,6 +170,14 @@ class ShardedEmbeddingStore:
     def shard_sizes(self):
         """Entities per shard — balance telemetry."""
         return [len(shard) for shard in self.shards]
+
+    def backend_stats(self):
+        """Per-shard backend telemetry (entities, LRU counters, ...)."""
+        return [shard.backend.stats() for shard in self.shards]
+
+    def bytes_per_entity(self):
+        """At-rest bytes per entity (all shards share codec + layout)."""
+        return self.shards[0].bytes_per_entity()
 
     # ------------------------------------------------------------------
     # introspection (the flat-store API, routed)
@@ -175,41 +252,80 @@ class ShardedEmbeddingStore:
                                 batch_size=batch_size, workers=workers)
 
     # ------------------------------------------------------------------
-    # persistence: one npz per shard + a manifest
+    # persistence: one state bundle per shard + a JSON manifest
     # ------------------------------------------------------------------
-    def _shard_path(self, directory, index):
-        return os.path.join(directory, "shard_%04d.npz" % index)
+    def _shard_dir(self, directory, index):
+        return os.path.join(str(directory), "shard_%04d" % index)
 
-    def snapshot(self, directory):
-        """Write every shard to ``directory`` (created if needed)."""
-        os.makedirs(directory, exist_ok=True)
-        save_arrays(os.path.join(directory, _MANIFEST), {
-            "num_shards": np.asarray(self.num_shards),
-            "kind": np.asarray("lstm" if self.runtime.is_lstm else "gru"),
-        })
-        for index, shard in enumerate(self.shards):
-            shard.snapshot(self._shard_path(directory, index))
+    def _legacy_shard_path(self, directory, index):
+        return os.path.join(str(directory), "shard_%04d.npz" % index)
 
-    def restore(self, directory):
-        """Load a snapshot written by :meth:`snapshot`; returns self.
+    def flush(self):
+        """Make every shard backend's pending writes durable."""
+        for shard in self.shards:
+            shard.flush()
 
-        The snapshot's shard count must match this store's — routing is a
-        function of ``num_shards``, so restoring across a reshard would
-        silently misroute every lookup.
+    def save(self, directory):
+        """Write every shard's state bundle under ``directory``.
+
+        Layout: ``manifest.json`` (format tag, shard count, state kind)
+        plus one ``shard_%04d/`` bundle directory per routing shard —
+        each of those is a flat-store bundle, so individual shards can be
+        moved or loaded independently.
         """
+        directory = str(directory)
+        os.makedirs(directory, exist_ok=True)
+        manifest = {"format": SHARDED_FORMAT, "num_shards": self.num_shards,
+                    "kind": "lstm" if self.runtime.is_lstm else "gru"}
+        with open(os.path.join(directory, _MANIFEST), "w") as handle:
+            json.dump(manifest, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        for index, shard in enumerate(self.shards):
+            shard.save(self._shard_dir(directory, index))
+
+    def load(self, directory):
+        """Load a sharded bundle (or legacy snapshot); returns self.
+
+        The bundle's shard count must match this store's — routing is a
+        function of ``num_shards``, so loading across a reshard would
+        silently misroute every lookup.  Directories written by the
+        pre-backend ``snapshot()`` (``manifest.npz`` + per-shard ``.npz``)
+        load transparently.
+        """
+        directory = str(directory)
         manifest_path = os.path.join(directory, _MANIFEST)
-        if not os.path.exists(manifest_path):
+        legacy_path = os.path.join(directory, _LEGACY_MANIFEST)
+        if os.path.exists(manifest_path):
+            with open(manifest_path) as handle:
+                snapshot_shards = int(json.load(handle)["num_shards"])
+            shard_paths = [self._shard_dir(directory, index)
+                           for index in range(self.num_shards)]
+        elif os.path.exists(legacy_path):
+            snapshot_shards = int(load_arrays(legacy_path)["num_shards"])
+            shard_paths = [self._legacy_shard_path(directory, index)
+                           for index in range(self.num_shards)]
+        else:
             raise FileNotFoundError(
                 "no sharded snapshot manifest at %r" % manifest_path
             )
-        manifest = load_arrays(manifest_path)
-        snapshot_shards = int(manifest["num_shards"])
         if snapshot_shards != self.num_shards:
             raise ValueError(
                 "snapshot holds %d shards but this store routes over %d; "
                 "construct the store with num_shards=%d to restore it"
                 % (snapshot_shards, self.num_shards, snapshot_shards)
             )
-        for index, shard in enumerate(self.shards):
-            shard.restore(self._shard_path(directory, index))
+        for shard, path in zip(self.shards, shard_paths):
+            shard.load(path)
         return self
+
+    def snapshot(self, directory):
+        """Deprecated alias of :meth:`save` (kept for API stability)."""
+        warnings.warn("ShardedEmbeddingStore.snapshot() is deprecated; use "
+                      "save(directory)", DeprecationWarning, stacklevel=2)
+        self.save(directory)
+
+    def restore(self, directory):
+        """Deprecated alias of :meth:`load` (kept for API stability)."""
+        warnings.warn("ShardedEmbeddingStore.restore() is deprecated; use "
+                      "load(directory)", DeprecationWarning, stacklevel=2)
+        return self.load(directory)

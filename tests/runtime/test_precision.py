@@ -9,7 +9,7 @@ execution policy layer):
   serial pass — for dataset embedding, heterogeneous advances and
   service flushes — and repeated runs are bit-identical too;
 - per-entity state round-trips across precision policies through
-  ``state_of``/``put_state`` and the npz snapshot format;
+  ``state_of``/``put_state`` and the state bundle format;
 - the numerically-safe sigmoid keeps float32 forwards free of
   ``RuntimeWarning`` even on saturated gates (satellite regression).
 """
@@ -197,17 +197,17 @@ def test_state_roundtrip_across_precisions(dataset, cell):
 
 @pytest.mark.parametrize("cell", ["gru", "lstm"])
 def test_snapshot_restores_across_precisions(dataset, cell, tmp_path):
-    """An npz snapshot written under one policy restores under the other
+    """A state bundle written under one policy loads under the other
     and keeps streaming within the drift bound."""
     encoder = _encoder(dataset, cell)
     half = dataset[np.arange(len(dataset))]
     half.sequences = [seq.slice(0, len(seq) // 2) for seq in dataset]
     f64 = EmbeddingStore(encoder, precision="float64")
     f64.bulk_load(half)
-    path = tmp_path / "store.npz"
-    f64.snapshot(path)
+    path = tmp_path / "store_state"
+    f64.save(path)
 
-    f32 = EmbeddingStore(encoder, precision="float32").restore(path)
+    f32 = EmbeddingStore(encoder, precision="float32").load(path)
     assert f32.known_entities() == f64.known_entities()
     reference = EmbeddingStore(encoder,
                                precision="float64").bulk_load(dataset)

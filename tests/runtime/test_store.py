@@ -1,9 +1,10 @@
-"""EmbeddingStore: bulk loading, incremental refresh, snapshot/restore.
+"""EmbeddingStore: bulk loading, incremental refresh, save/load.
 
 The serving guarantees under test: incremental refresh is bit-equal to a
 full recompute (the paper's Section 4.3.1 ETL property), bulk loading
 through the bucketed batch planner changes nothing, and a store survives
-a snapshot/restore round-trip mid-stream.
+a save/load round-trip mid-stream (including the legacy flat-npz format
+and the deprecated ``snapshot``/``restore`` aliases).
 """
 
 import numpy as np
@@ -12,6 +13,7 @@ import pytest
 from repro.core.inference import IncrementalEmbedder, embed_dataset
 from repro.data.synthetic import make_churn_dataset
 from repro.encoders import build_encoder
+from repro.nn.serialization import save_arrays
 from repro.runtime import EmbeddingStore
 
 
@@ -68,16 +70,16 @@ class TestBulkAndIncremental:
             np.testing.assert_allclose(store.embedding(seq.seq_id),
                                        full[row], atol=1e-10)
 
-    def test_snapshot_restore_roundtrip(self, dataset, cell, tmp_path):
+    def test_save_load_roundtrip(self, dataset, cell, tmp_path):
         encoder = _encoder(dataset, cell)
         store = EmbeddingStore(encoder, precision="float64")
         half = dataset[np.arange(len(dataset))]
         half.sequences = [seq.slice(0, len(seq) // 2) for seq in dataset]
         store.bulk_load(half)
-        path = tmp_path / "store.npz"
-        store.snapshot(path)
+        path = tmp_path / "store_state"
+        store.save(path)
 
-        restored = EmbeddingStore(encoder, precision="float64").restore(path)
+        restored = EmbeddingStore(encoder, precision="float64").load(path)
         assert restored.known_entities() == store.known_entities()
         for seq in dataset:
             np.testing.assert_array_equal(restored.embedding(seq.seq_id),
@@ -120,23 +122,55 @@ class TestStoreApi:
         with pytest.raises(TypeError):
             EmbeddingStore(transformer)
 
-    def test_restore_rejects_cell_mismatch(self, dataset, tmp_path):
+    def test_load_rejects_cell_mismatch(self, dataset, tmp_path):
         gru_store = EmbeddingStore(_encoder(dataset, "gru"))
         gru_store.update(1, dataset[0].slice(0, 10), dataset.schema)
-        path = tmp_path / "gru.npz"
-        gru_store.snapshot(path)
+        path = tmp_path / "gru_state"
+        gru_store.save(path)
         lstm_store = EmbeddingStore(_encoder(dataset, "lstm"))
-        with pytest.raises(ValueError):
-            lstm_store.restore(path)
+        with pytest.raises(ValueError, match="gru"):
+            lstm_store.load(path)
 
-    def test_restore_rejects_width_mismatch(self, dataset, tmp_path):
+    def test_load_rejects_width_mismatch(self, dataset, tmp_path):
         narrow = EmbeddingStore(_encoder(dataset, "gru", hidden=6))
         narrow.update(1, dataset[0].slice(0, 10), dataset.schema)
-        path = tmp_path / "narrow.npz"
-        narrow.snapshot(path)
+        path = tmp_path / "narrow_state"
+        narrow.save(path)
         wide = EmbeddingStore(_encoder(dataset, "gru", hidden=14))
-        with pytest.raises(ValueError):
-            wide.restore(path)
+        with pytest.raises(ValueError, match="width"):
+            wide.load(path)
+
+    def test_deprecated_snapshot_restore_aliases(self, dataset, tmp_path):
+        """The pre-backend method names keep working, with a warning."""
+        encoder = _encoder(dataset, "gru")
+        store = EmbeddingStore(encoder)
+        store.update(3, dataset[0].slice(0, 10), dataset.schema)
+        path = tmp_path / "alias_state"
+        with pytest.warns(DeprecationWarning, match="save"):
+            store.snapshot(path)
+        fresh = EmbeddingStore(encoder)
+        with pytest.warns(DeprecationWarning, match="load"):
+            fresh.restore(path)
+        np.testing.assert_array_equal(fresh.embedding(3), store.embedding(3))
+
+    def test_load_reads_legacy_flat_npz(self, dataset, tmp_path):
+        """Snapshots written by the pre-backend format stay loadable."""
+        encoder = _encoder(dataset, "gru")
+        store = EmbeddingStore(encoder, precision="float64")
+        store.bulk_load(dataset)
+        ids = store.known_entities()
+        path = tmp_path / "legacy.npz"
+        save_arrays(path, {
+            "entity_ids": np.asarray(ids),
+            "hidden": np.stack([store.state_of(e)[0] for e in ids]),
+            "last_times": np.asarray([store.last_time(e) for e in ids]),
+            "kind": np.asarray("gru"),
+        })
+        loaded = EmbeddingStore(encoder, precision="float64").load(path)
+        assert loaded.known_entities() == ids
+        for entity_id in ids:
+            np.testing.assert_array_equal(loaded.embedding(entity_id),
+                                          store.embedding(entity_id))
 
 
 class TestIncrementalEmbedderFacade:

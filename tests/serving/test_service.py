@@ -218,7 +218,7 @@ class TestMicroBatcher:
 
 
 class TestServicePersistence:
-    def test_snapshot_flushes_and_roundtrips(self, dataset, tmp_path):
+    def test_save_flushes_and_roundtrips(self, dataset, tmp_path):
         encoder = _encoder(dataset, "gru")
         history = dataset[np.arange(len(dataset))]
         history.sequences = [seq.slice(0, len(seq) - 4) for seq in dataset]
@@ -226,24 +226,36 @@ class TestServicePersistence:
                         flush_events=10_000)
         seq = dataset[2]
         service.ingest(seq.slice(len(seq) - 4, len(seq)))
-        service.snapshot(tmp_path / "svc")  # must flush the pending chunk
+        service.save(tmp_path / "svc")  # must flush the pending chunk
         assert service.batcher.pending_events == 0
 
         clone = serve(encoder, schema=dataset.schema, num_shards=4)
-        clone.restore(tmp_path / "svc")
+        clone.load(tmp_path / "svc")
         ids = [s.seq_id for s in dataset]
         np.testing.assert_array_equal(clone.query(ids), service.query(ids))
 
-    def test_restore_refuses_pending_events(self, dataset, tmp_path):
+    def test_load_refuses_pending_events(self, dataset, tmp_path):
         encoder = _encoder(dataset, "gru")
         history = dataset[np.arange(len(dataset))]
         history.sequences = [seq.slice(0, len(seq) - 3) for seq in dataset]
         service = serve(encoder, dataset=history, num_shards=2)
-        service.snapshot(tmp_path / "svc")
+        service.save(tmp_path / "svc")
         seq = dataset[0]
         service.ingest(seq.slice(len(seq) - 3, len(seq)))
         with pytest.raises(RuntimeError, match="buffered events"):
-            service.restore(tmp_path / "svc")
+            service.load(tmp_path / "svc")
+
+    def test_deprecated_snapshot_restore_aliases(self, dataset, tmp_path):
+        """The pre-backend method names keep working, with a warning."""
+        encoder = _encoder(dataset, "gru")
+        service = serve(encoder, dataset=dataset, num_shards=2)
+        with pytest.warns(DeprecationWarning, match="save"):
+            service.snapshot(tmp_path / "svc")
+        clone = serve(encoder, schema=dataset.schema, num_shards=2)
+        with pytest.warns(DeprecationWarning, match="load"):
+            clone.restore(tmp_path / "svc")
+        ids = [s.seq_id for s in dataset]
+        np.testing.assert_array_equal(clone.query(ids), service.query(ids))
 
     def test_serve_requires_schema_or_dataset(self, dataset):
         with pytest.raises(ValueError):

@@ -12,6 +12,7 @@ import pytest
 from repro.core.inference import embed_dataset
 from repro.data.synthetic import make_churn_dataset
 from repro.encoders import build_encoder
+from repro.nn.serialization import save_arrays
 from repro.runtime import EmbeddingStore
 from repro.serving import ShardedEmbeddingStore, route_entity
 
@@ -127,7 +128,7 @@ class TestBatchedWrites:
         with pytest.raises(ValueError, match="last_time"):
             sharded.put_state(99, hidden, cell=cell_buf)
         sharded.put_state(99, hidden, cell=cell_buf, last_time=1.0)
-        sharded.snapshot(tmp_path / "snap")  # every state snapshot-safe
+        sharded.save(tmp_path / "snap")  # every state snapshot-safe
         assert sharded.last_time(99) == 1.0
 
     def test_update_many_rejects_duplicates_and_empty_chunks(self, dataset,
@@ -143,7 +144,7 @@ class TestBatchedWrites:
 
 @pytest.mark.parametrize("cell", ["gru", "lstm"])
 class TestShardedPersistence:
-    def test_snapshot_restore_roundtrip(self, dataset, cell, tmp_path):
+    def test_save_load_roundtrip(self, dataset, cell, tmp_path):
         encoder = _encoder(dataset, cell)
         store = ShardedEmbeddingStore(encoder, num_shards=4,
                                        precision="float64")
@@ -151,11 +152,11 @@ class TestShardedPersistence:
         half.sequences = [seq.slice(0, len(seq) // 2) for seq in dataset]
         store.bulk_load(half)
         snapshot_dir = tmp_path / "shards"
-        store.snapshot(snapshot_dir)
+        store.save(snapshot_dir)
 
         restored = ShardedEmbeddingStore(encoder, num_shards=4,
                                          precision="float64")
-        restored.restore(snapshot_dir)
+        restored.load(snapshot_dir)
         assert restored.known_entities() == store.known_entities()
         assert restored.shard_sizes() == store.shard_sizes()
         for seq in dataset:
@@ -170,17 +171,63 @@ class TestShardedPersistence:
         ids = [seq.seq_id for seq in dataset]
         np.testing.assert_allclose(restored.embeddings(ids), full, atol=1e-10)
 
-    def test_restore_rejects_shard_count_mismatch(self, dataset, cell,
-                                                  tmp_path):
+    def test_load_rejects_shard_count_mismatch(self, dataset, cell,
+                                               tmp_path):
         encoder = _encoder(dataset, cell)
         store = ShardedEmbeddingStore(encoder, num_shards=4)
         store.bulk_load(dataset)
-        store.snapshot(tmp_path / "snap")
+        store.save(tmp_path / "snap")
         other = ShardedEmbeddingStore(encoder, num_shards=2)
         with pytest.raises(ValueError, match="4 shards"):
-            other.restore(tmp_path / "snap")
+            other.load(tmp_path / "snap")
 
-    def test_restore_requires_manifest(self, dataset, cell, tmp_path):
+    def test_load_requires_manifest(self, dataset, cell, tmp_path):
         store = ShardedEmbeddingStore(_encoder(dataset, cell), num_shards=2)
         with pytest.raises(FileNotFoundError):
-            store.restore(tmp_path / "nowhere")
+            store.load(tmp_path / "nowhere")
+
+    def test_deprecated_snapshot_restore_aliases(self, dataset, cell,
+                                                 tmp_path):
+        """The pre-backend method names keep working, with a warning."""
+        encoder = _encoder(dataset, cell)
+        store = ShardedEmbeddingStore(encoder, num_shards=3)
+        store.bulk_load(dataset)
+        with pytest.warns(DeprecationWarning, match="save"):
+            store.snapshot(tmp_path / "snap")
+        fresh = ShardedEmbeddingStore(encoder, num_shards=3)
+        with pytest.warns(DeprecationWarning, match="load"):
+            fresh.restore(tmp_path / "snap")
+        assert fresh.known_entities() == store.known_entities()
+
+    def test_load_reads_legacy_npz_snapshot(self, dataset, cell, tmp_path):
+        """Directories written by the pre-backend per-shard ``.npz``
+        snapshot format stay loadable."""
+        encoder = _encoder(dataset, cell)
+        store = ShardedEmbeddingStore(encoder, num_shards=2,
+                                      precision="float64")
+        store.bulk_load(dataset)
+        legacy_dir = tmp_path / "legacy"
+        legacy_dir.mkdir()
+        save_arrays(legacy_dir / "manifest.npz", {
+            "num_shards": np.asarray(2),
+            "kind": np.asarray(cell),
+        })
+        for index, shard in enumerate(store.shards):
+            ids = shard.known_entities()
+            arrays = {
+                "entity_ids": np.asarray(ids),
+                "hidden": np.stack([shard.state_of(e)[0] for e in ids]),
+                "last_times": np.asarray([shard.last_time(e) for e in ids]),
+                "kind": np.asarray(cell),
+            }
+            if cell == "lstm":
+                arrays["cell"] = np.stack([shard.state_of(e)[1]
+                                           for e in ids])
+            save_arrays(legacy_dir / ("shard_%04d.npz" % index), arrays)
+        loaded = ShardedEmbeddingStore(encoder, num_shards=2,
+                                       precision="float64")
+        loaded.load(legacy_dir)
+        assert loaded.known_entities() == store.known_entities()
+        for seq in dataset:
+            np.testing.assert_array_equal(loaded.embedding(seq.seq_id),
+                                          store.embedding(seq.seq_id))
