@@ -7,14 +7,15 @@ A :class:`SequenceClassifier` is a sequence encoder with a softmax head
 - *fine-tuning* (Table 7, Figure 4): the encoder comes pre-trained by
   CoLES/CPC/RTD and continues training with the head.
 
-Like every other training loop over recurrent encoders, fine-tuning runs
-on the fused graph-free engine by default (``FineTuneConfig(engine=
-"auto")`` resolves via :func:`repro.runtime.resolve_engine`): the encoder
-forward+backward is hand-derived BPTT and the cross-entropy + linear-head
-backward is closed-form (:func:`repro.runtime.softmax_head_gradient`), so
-no autograd graph is built at all.  Transformers fall back to the Tensor
-engine.  Both engines produce the same gradients to < 1e-8, including
-distinct per-group learning rates for the encoder and the head.
+Like every other training loop, fine-tuning runs on the fused graph-free
+engine by default (``FineTuneConfig(engine="auto")`` resolves via
+:func:`repro.runtime.resolve_engine` for recurrent *and* transformer
+encoders): the encoder forward+backward is hand-derived (BPTT for
+GRU/LSTM, the attention reverse pass for transformers) and the
+cross-entropy + linear-head backward is closed-form
+(:func:`repro.runtime.softmax_head_gradient`), so no autograd graph is
+built at all.  Both engines produce the same gradients to < 1e-8,
+including distinct per-group learning rates for the encoder and the head.
 """
 
 from __future__ import annotations
@@ -24,7 +25,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..data.batches import collate, iterate_batches
-from ..encoders.seq_encoder import RnnSeqEncoder
+from ..encoders.seq_encoder import RnnSeqEncoder, TransformerSeqEncoder
 from ..nn import Adam, Linear, clip_grad_norm, no_grad
 from ..nn import functional as F
 from ..runtime.training import (FusedTrainStep, resolve_engine,
@@ -50,9 +51,8 @@ class FineTuneConfig:
     # None keeps the fully random order.
     bucket_window: int | None = None
     # Encoder execution engine: "auto" resolves to the fused graph-free
-    # BPTT runtime (repro.runtime.training) for recurrent encoders and
-    # to the autograd tensor engine for transformers; "tensor" and
-    # "fused" pin one explicitly.
+    # runtime (repro.runtime.training) for every repro encoder family;
+    # "tensor" and "fused" pin one explicitly.
     engine: str = "auto"
     # Fused-engine compute dtype: "float64" (default, the parity
     # reference) or "float32" (mixed precision).  Tensor engine: ignored.
@@ -154,15 +154,16 @@ class SequenceClassifier:
     def predict_proba(self, dataset, batch_size=64, precision="float64"):
         """Class probabilities ``(N, C)`` for every sequence.
 
-        Recurrent encoders run through the fused inference runtime
+        Every repro encoder (recurrent and transformer) runs through the
+        fused inference runtime
         (:class:`~repro.runtime.FusedEncoderRuntime`, length-sorted batch
-        plan); other encoders fall back to the Tensor path under
+        plan); custom encoders fall back to the Tensor path under
         ``no_grad``.  Under the default ``precision="float64"`` the two
         paths agree to < 1e-10; ``"float32"`` serves faster at a
         property-bounded drift.
         """
         self.encoder.eval()
-        if isinstance(self.encoder, RnnSeqEncoder):
+        if isinstance(self.encoder, (RnnSeqEncoder, TransformerSeqEncoder)):
             embeddings = self.encoder.fused_runtime(
                 precision=precision).embed_dataset(dataset,
                                                    batch_size=batch_size)

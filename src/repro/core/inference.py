@@ -6,10 +6,11 @@ arrive — recurrent encoders allow ``c_{t+k}`` to be computed from ``c_t``
 and the new events only.
 
 Since the runtime refactor this module is a thin façade over
-:mod:`repro.runtime`: recurrent encoders serve through the fused
-graph-free kernels with a length-sorted batch plan, while non-recurrent
-encoders (the Transformer of Table 3) fall back to the differentiable
-Tensor path under ``no_grad``.  Both paths agree to < 1e-10.
+:mod:`repro.runtime`: every repro encoder — recurrent *and* transformer
+— serves through the fused graph-free kernels with a length-sorted
+batch plan; only custom encoders outside those families fall back to
+the differentiable Tensor path under ``no_grad``.  Both paths agree to
+< 1e-10 (float64).
 """
 
 from __future__ import annotations
@@ -17,7 +18,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..data.batches import collate
-from ..encoders.seq_encoder import RnnSeqEncoder
+from ..encoders.seq_encoder import RnnSeqEncoder, TransformerSeqEncoder
 from ..nn import no_grad
 from ..runtime import EmbeddingStore, FusedEncoderRuntime
 from ..serving import EmbeddingService
@@ -57,9 +58,10 @@ def embed_dataset(encoder, dataset, batch_size=64, runtime="auto",
 
     ``runtime`` selects the execution path:
 
-    - ``"auto"`` (default): fused kernels for recurrent encoders, Tensor
-      path otherwise;
-    - ``"fused"``: require the fused runtime (TypeError for transformers);
+    - ``"auto"`` (default): fused kernels for every repro encoder
+      (recurrent and transformer), Tensor path for custom encoders;
+    - ``"fused"``: require the fused runtime (TypeError for encoders the
+      fused kernels do not cover);
     - ``"tensor"``: force the differentiable path (used by equivalence
       tests and benchmarks).
 
@@ -72,7 +74,7 @@ def embed_dataset(encoder, dataset, batch_size=64, runtime="auto",
     if runtime == "tensor":
         return _embed_dataset_tensor(encoder, dataset, batch_size)
     if runtime == "fused" or isinstance(
-        encoder, (RnnSeqEncoder, FusedEncoderRuntime)
+        encoder, (RnnSeqEncoder, TransformerSeqEncoder, FusedEncoderRuntime)
     ):
         return _embed_dataset_fused(encoder, dataset, batch_size,
                                     precision, workers)
@@ -113,17 +115,16 @@ class IncrementalEmbedder:
     API stability: ``update`` folds new events into the stored recurrent
     state and returns the refreshed embedding, bit-equal to a full
     recompute.  Transformers cannot reuse prior computation and are
-    rejected (the store raises TypeError).
+    rejected up front (the store itself would only fail at ``update``).
     """
 
     def __init__(self, encoder, precision=None):
-        try:
-            self.store = EmbeddingStore(encoder, precision=precision)
-        except TypeError:
+        self.store = EmbeddingStore(encoder, precision=precision)
+        if not self.store.runtime.is_recurrent:
             raise TypeError(
                 "incremental inference requires a recurrent encoder "
                 "(got %s)" % type(encoder).__name__
-            ) from None
+            )
         self.encoder = self.store.runtime.encoder
         self.encoder.eval()  # seed-API behavior: embedders serve in eval mode
 

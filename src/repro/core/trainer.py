@@ -28,11 +28,12 @@ class TrainConfig:
     # None keeps the fully random order.
     bucket_window: int | None = None
     # Execution engine for the encoder's forward+backward:
-    # "auto"   — fused for recurrent encoders, tensor for transformers
+    # "auto"   — fused for every repro encoder, recurrent and transformer
     #            (resolved per encoder by repro.runtime.resolve_engine);
     # "tensor" — the autograd Tensor graph (works for every encoder);
-    # "fused"  — graph-free numpy BPTT (repro.runtime.training), gradient-
-    # equivalent to < 1e-8 and several times faster for GRU/LSTM encoders.
+    # "fused"  — graph-free numpy (repro.runtime.training): hand-derived
+    # BPTT for GRU/LSTM, the attention reverse pass for transformers;
+    # gradient-equivalent to < 1e-8 and several times faster.
     engine: str = "auto"
     # Compute dtype of the fused engine: "float64" (default — the
     # engine-parity reference, identical trajectories to the Tensor
@@ -92,8 +93,8 @@ class ContrastiveTrainer:
         self.strategy = strategy
         self.config = config or TrainConfig()
         self.history = []
-        # "auto" resolves per encoder: fused for GRU/LSTM, tensor for
-        # transformers.  The resolved engine is kept for introspection.
+        # "auto" resolves to fused for every repro encoder family.  The
+        # resolved engine is kept for introspection.
         self.engine = resolve_engine(self.config.engine, encoder)
         if self.engine == "fused":
             self._fused_step = FusedTrainStep(encoder,

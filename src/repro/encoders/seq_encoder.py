@@ -47,6 +47,25 @@ class SeqEncoder(Module):
     def _head(self, embedding):
         return F.l2_normalize(embedding) if self.normalize else embedding
 
+    def fused_runtime(self, precision=None, workers=None):
+        """Graph-free serving runtime sharing this encoder's weights.
+
+        The returned :class:`~repro.runtime.FusedEncoderRuntime` reads the
+        parameters live, so it keeps serving the current weights after
+        further training.  Works for every repro encoder family (the
+        runtime picks the RNN or attention kernels); ``precision``/
+        ``workers`` configure the runtime's dtype policy and
+        bucket-parallel worker count (None: the runtime defaults).
+        """
+        from ..runtime import FusedEncoderRuntime
+
+        kwargs = {}
+        if precision is not None:
+            kwargs["precision"] = precision
+        if workers is not None:
+            kwargs["workers"] = workers
+        return FusedEncoderRuntime(self, **kwargs)
+
 
 class RnnSeqEncoder(SeqEncoder):
     """GRU/LSTM sequence encoder with a learnt initial state (paper default)."""
@@ -67,24 +86,6 @@ class RnnSeqEncoder(SeqEncoder):
         events = self.trx_encoder(batch)
         states, last = self.rnn(events, mask=batch.mask)
         return states, self._head(last)
-
-    def fused_runtime(self, precision=None, workers=None):
-        """Graph-free serving runtime sharing this encoder's weights.
-
-        The returned :class:`~repro.runtime.FusedEncoderRuntime` reads the
-        parameters live, so it keeps serving the current weights after
-        further training.  ``precision``/``workers`` configure the
-        runtime's dtype policy and bucket-parallel worker count (None:
-        the runtime defaults).
-        """
-        from ..runtime import FusedEncoderRuntime
-
-        kwargs = {}
-        if precision is not None:
-            kwargs["precision"] = precision
-        if workers is not None:
-            kwargs["workers"] = workers
-        return FusedEncoderRuntime(self, **kwargs)
 
 
 class TransformerSeqEncoder(SeqEncoder):

@@ -61,9 +61,10 @@ def fine_tune_and_evaluate(encoder, train_dataset, test_dataset,
 
     ``encoder`` may be freshly initialised (supervised baseline) or carry
     pre-trained weights (CoLES/CPC/RTD fine-tuning).  The engine comes
-    from ``config`` (default ``"auto"``: fused for recurrent encoders,
-    tensor for transformers), as do the per-group learning rates and the
-    batch plan — see :class:`~repro.baselines.supervised.FineTuneConfig`.
+    from ``config`` (default ``"auto"``: fused for every repro encoder,
+    recurrent and transformer alike), as do the per-group learning rates
+    and the batch plan — see
+    :class:`~repro.baselines.supervised.FineTuneConfig`.
     """
     train_labeled = train_dataset.labeled()
     labels = train_labeled.label_array()

@@ -143,8 +143,8 @@ def phase2b_test_metric(profile, method, train, test, seed=0, engine="auto"):
     """Table 7 protocol: (pre-trained) encoder + head fine-tuned on labels.
 
     ``engine`` selects the fine-tuning execution engine (the default
-    ``"auto"`` resolves to fused for the recurrent profile encoders and
-    tensor for transformers); pre-training keeps its own ``"auto"``.
+    ``"auto"`` resolves to fused for every profile encoder, recurrent
+    and transformer alike); pre-training keeps its own ``"auto"``.
     """
     test_labels = test.label_array()
     metric = task_metric(test_labels)

@@ -111,12 +111,31 @@ class TransformerEncoder(Module):
         self.final_norm = LayerNorm(dim)
         self.max_len = max_len
         self._pos_table = sinusoidal_positions(max_len, dim)
+        self._pos_cache = {}
+
+    def positional_slice(self, steps, dtype=np.float64):
+        """The ``(1, steps, dim)`` positional slice, cached per (dtype, length).
+
+        Both execution engines read positions through this cache: the
+        Tensor path requests float64 (its compute dtype), the fused
+        runtime the dtype of its precision policy — so neither re-slices
+        (or re-casts) the table per forward.  Raises ``ValueError`` when
+        ``steps`` exceeds ``max_len``.
+        """
+        if steps > self.max_len:
+            raise ValueError(
+                "sequence length %d exceeds max_len %d" % (steps, self.max_len))
+        key = (np.dtype(dtype).str, steps)
+        cached = self._pos_cache.get(key)
+        if cached is None:
+            cached = np.ascontiguousarray(self._pos_table[None, :steps, :],
+                                          dtype=dtype)
+            self._pos_cache[key] = cached
+        return cached
 
     def forward(self, x, mask=None):
         batch, steps, _ = x.shape
-        if steps > self.max_len:
-            raise ValueError("sequence length %d exceeds max_len %d" % (steps, self.max_len))
-        x = x + Tensor(self._pos_table[None, :steps, :])
+        x = x + Tensor(self.positional_slice(steps))
         for layer in self.layers:
             x = layer(x, key_padding_mask=mask)
         x = self.final_norm(x)

@@ -5,29 +5,35 @@ The execution-path split of the codebase:
 - **autograd** (:mod:`repro.nn`) — the differentiable Tensor substrate,
   one graph node per op; still used by the losses (small graphs over
   embeddings, per-step states or event representations wrapped as leaf
-  tensors) and by encoders the fused engine does not cover
-  (transformers);
+  tensors) and as the parity reference for every fused kernel;
 - **fused training** (:mod:`~repro.runtime.training`) — a
-  :class:`FusedTrainStep` runs the encoder forward and hand-derived BPTT
-  (:func:`~repro.runtime.kernels.rnn_backward`) as raw numpy — the
-  default engine for recurrent encoders (``engine="auto"`` resolves via
-  :func:`resolve_engine`), covering final-embedding objectives (CoLES
-  losses, NSP/SOP), per-step objectives (CPC, RTD) through the
-  ``d_states``/``d_events`` gradient interface, and supervised
-  fine-tuning through the hand-derived :func:`softmax_head_gradient`;
+  :class:`FusedTrainStep` runs the encoder forward and hand-derived
+  backward — BPTT (:func:`~repro.runtime.kernels.rnn_backward`) for
+  recurrent encoders, the attention reverse pass
+  (:func:`~repro.runtime.attention.transformer_backward`) for
+  transformers — as raw numpy.  ``engine="auto"`` resolves to fused for
+  *every* repro encoder via :func:`resolve_engine`, covering
+  final-embedding objectives (CoLES losses, NSP/SOP), per-step
+  objectives (CPC, RTD) through the ``d_states``/``d_events`` gradient
+  interface, and supervised fine-tuning through the hand-derived
+  :func:`softmax_head_gradient`;
 - **serving** — the same forward kernels driven by a
   :class:`FusedEncoderRuntime`, with per-entity state owned by an
   :class:`EmbeddingStore` over a pluggable :class:`StateBackend`
   (in-RAM dicts or out-of-core memmap shards) and an at-rest
   :class:`StateCodec` (identity / float16 / int8 / uint4).
 
-All paths share one weight layout (:class:`repro.nn.CellWeights`):
-fused-trained weights drop directly into the serving stack.  Forward
-equivalence to the Tensor path is < 1e-10 and gradient equivalence
-< 1e-8, asserted property-style by ``tests/runtime/``.
+All paths share one weight layout per encoder family
+(:class:`repro.nn.CellWeights` for RNN cells, the
+:func:`~repro.runtime.attention.transformer_parameters` walk for
+transformers): fused-trained weights drop directly into the serving
+stack.  Forward equivalence to the Tensor path is < 1e-10 and gradient
+equivalence < 1e-8, asserted property-style by ``tests/runtime/``.
 """
 
-from . import kernels
+from . import attention, kernels
+from .attention import (TransformerPlan, build_transformer_plan,
+                        transformer_plan_matches)
 from .backends import (DictStateBackend, Float16Codec, IdentityCodec,
                        MemmapStateBackend, QuantizedCodec, StateBackend,
                        StateCodec, resolve_backend, resolve_codec)
@@ -37,7 +43,9 @@ from .training import (FusedForwardCache, FusedTrainStep, loss_gradient,
                        resolve_engine, softmax_head_gradient,
                        softmax_head_probabilities)
 
-__all__ = ["kernels", "FusedEncoderRuntime", "EmbeddingStore",
+__all__ = ["kernels", "attention", "TransformerPlan",
+           "build_transformer_plan", "transformer_plan_matches",
+           "FusedEncoderRuntime", "EmbeddingStore",
            "advance_entities", "bulk_load_states", "FusedTrainStep",
            "FusedForwardCache", "loss_gradient", "softmax_head_gradient",
            "softmax_head_probabilities", "resolve_engine",

@@ -376,9 +376,17 @@ class StateBackend:
 
     # -- lifecycle ------------------------------------------------------
     def attach(self, dim, kind, dtype, codec):
-        """Bind the backend to a store's state geometry and codec."""
-        if kind not in ("gru", "lstm"):
-            raise ValueError("kind must be 'gru' or 'lstm' (got %r)" % kind)
+        """Bind the backend to a store's state geometry and codec.
+
+        ``kind`` names the state family: recurrent ``"gru"``/``"lstm"``
+        states (``"lstm"`` adds a cell buffer per entity) or
+        ``"transformer"`` pooled-embedding states (hidden buffer only,
+        like GRU).
+        """
+        if kind not in ("gru", "lstm", "transformer"):
+            raise ValueError(
+                "kind must be 'gru', 'lstm' or 'transformer' (got %r)"
+                % kind)
         self.dim = int(dim)
         self.kind = kind
         self.dtype = np.dtype(dtype)

@@ -1,13 +1,15 @@
 """The fused inference engine: one encoder, two execution paths.
 
-:class:`FusedEncoderRuntime` wraps a trained :class:`RnnSeqEncoder` and
-runs its forward pass through the graph-free kernels of
-:mod:`repro.runtime.kernels`.  Weights are read through the
-:meth:`~repro.nn.rnn._RecurrentBase.export_weights` view on every call —
-a cached :class:`~repro.runtime.kernels.WeightPlan` (pre-cast,
-pre-transposed, bias-folded) is rebuilt whenever the live parameter
-buffers change identity — so the runtime always serves the encoder's
-current parameters: fine-tune, then keep serving, no re-wrap needed.
+:class:`FusedEncoderRuntime` wraps a trained sequence encoder — a
+recurrent :class:`RnnSeqEncoder` or a
+:class:`~repro.encoders.TransformerSeqEncoder` — and runs its forward
+pass through the graph-free kernels of :mod:`repro.runtime.kernels`
+(RNN cells) or :mod:`repro.runtime.attention` (the transformer stack).
+Weights are read through live parameter views on every call — a cached
+packed plan (pre-cast, pre-transposed, bias-folded) is rebuilt whenever
+the live parameter buffers change identity — so the runtime always
+serves the encoder's current parameters: fine-tune, then keep serving,
+no re-wrap needed.
 
 Two execution knobs make up the serving policy:
 
@@ -29,8 +31,8 @@ import numpy as np
 
 from ..data.batches import collate
 from ..data.bucketing import plan_batches
-from ..encoders.seq_encoder import RnnSeqEncoder
-from . import kernels
+from ..encoders.seq_encoder import RnnSeqEncoder, TransformerSeqEncoder
+from . import attention, kernels
 
 __all__ = ["FusedEncoderRuntime"]
 
@@ -40,21 +42,29 @@ DEFAULT_PRECISION = "float32"
 
 
 class FusedEncoderRuntime:
-    """Graph-free serving runtime for a recurrent sequence encoder.
+    """Graph-free serving runtime for any repro sequence encoder.
 
-    Raises ``TypeError`` for non-recurrent encoders: the fused kernels (and
-    the incremental state carry they enable) are recurrence-specific, which
-    is exactly why the paper deploys GRUs (Section 4.3.1).
+    Recurrent encoders run the RNN kernels of
+    :mod:`repro.runtime.kernels`; transformer encoders run the fused
+    attention kernels of :mod:`repro.runtime.attention` (no autograd
+    graph either way).  The *incremental* surface — :meth:`advance`,
+    :meth:`default_state` — stays recurrence-specific: a transformer
+    cannot fold new events into a carried state (which is exactly why
+    the paper deploys GRUs for the streaming ETL, Section 4.3.1), so
+    those methods raise ``TypeError`` for transformer runtimes while the
+    bulk paths work for every encoder.
 
     The encoder's train/eval mode is left untouched: the kernels always
-    read the batch-norm *running* statistics (eval semantics), so the
-    runtime serves correctly even mid-training and never freezes the
-    encoder's training-mode statistics as a side effect.
+    read the batch-norm *running* statistics and never apply dropout
+    (eval semantics), so the runtime serves correctly even mid-training
+    and never freezes the encoder's training-mode statistics as a side
+    effect.
 
     Parameters
     ----------
     encoder:
-        The :class:`~repro.encoders.RnnSeqEncoder` to serve.
+        The :class:`~repro.encoders.RnnSeqEncoder` or
+        :class:`~repro.encoders.TransformerSeqEncoder` to serve.
     precision:
         Compute/state dtype policy: ``"float32"`` (default) or
         ``"float64"`` (the parity reference).
@@ -64,10 +74,10 @@ class FusedEncoderRuntime:
     """
 
     def __init__(self, encoder, precision=DEFAULT_PRECISION, workers=1):
-        if not isinstance(encoder, RnnSeqEncoder):
+        if not isinstance(encoder, (RnnSeqEncoder, TransformerSeqEncoder)):
             raise TypeError(
-                "the fused runtime requires a recurrent encoder "
-                "(got %s)" % type(encoder).__name__
+                "the fused runtime requires an RnnSeqEncoder or "
+                "TransformerSeqEncoder (got %s)" % type(encoder).__name__
             )
         self.encoder = encoder
         self.dtype = kernels.resolve_precision(precision)
@@ -78,9 +88,19 @@ class FusedEncoderRuntime:
 
     # ------------------------------------------------------------------
     @property
+    def is_recurrent(self):
+        """Whether the wrapped encoder carries recurrent state."""
+        return isinstance(self.encoder, RnnSeqEncoder)
+
+    @property
+    def state_kind(self):
+        """The stored-state family: ``"gru"``, ``"lstm"`` or ``"transformer"``."""
+        return self.encoder.cell if self.is_recurrent else "transformer"
+
+    @property
     def is_lstm(self):
         """Whether states are ``(h, c)`` pairs (LSTM) or plain ``(B, H)``."""
-        return self.encoder.cell == "lstm"
+        return self.state_kind == "lstm"
 
     @property
     def output_dim(self):
@@ -92,12 +112,21 @@ class FusedEncoderRuntime:
         return self.encoder.rnn.export_weights()
 
     def weight_plan(self):
-        """The cached :class:`~repro.runtime.kernels.WeightPlan`.
+        """The cached packed weight plan of the wrapped encoder.
 
-        Rebuilt exactly when the live parameter buffers change identity
-        (optimisers rebind ``param.data``), so the runtime keeps serving
-        live weights with zero per-call repacking in the steady state.
+        A :class:`~repro.runtime.kernels.WeightPlan` for recurrent
+        encoders, a :class:`~repro.runtime.attention.TransformerPlan` for
+        transformers.  Rebuilt exactly when the live parameter buffers
+        change identity (optimisers rebind ``param.data``), so the
+        runtime keeps serving live weights with zero per-call repacking
+        in the steady state.
         """
+        if not self.is_recurrent:
+            if not attention.transformer_plan_matches(self._weight_plan,
+                                                      self.encoder):
+                self._weight_plan = attention.build_transformer_plan(
+                    self.encoder, self.precision)
+            return self._weight_plan
         weights = self.weights()
         if not kernels.plan_matches(self._weight_plan, weights):
             self._weight_plan = kernels.build_weight_plan(weights,
@@ -120,13 +149,25 @@ class FusedEncoderRuntime:
 
     def forward(self, batch, initial=None, prev_times=None,
                 return_outputs=False):
-        """Run the recurrence over a padded batch.
+        """Run the fused encoder forward over a padded batch.
 
-        Returns ``(outputs, last_state)`` where ``last_state`` is ``(B, H)``
-        (or an ``(h, c)`` pair for LSTM) *before* the normalisation head —
-        this is the state to persist for incremental updates.
+        Returns ``(outputs, last_state)``.  For recurrent encoders
+        ``last_state`` is ``(B, H)`` (or an ``(h, c)`` pair for LSTM)
+        *before* the normalisation head — the state to persist for
+        incremental updates.  For transformers ``last_state`` is the
+        masked-mean pooled ``(B, H)`` embedding (pre-head) and
+        ``initial`` must be None (no state carry exists to seed).
         """
         events = self.encode_events(batch, prev_times=prev_times)
+        if not self.is_recurrent:
+            if initial is not None:
+                raise TypeError(
+                    "transformer encoders accept no initial state: "
+                    "incremental state carry is recurrence-specific"
+                )
+            states, pooled = attention.transformer_forward(
+                self.weight_plan(), events, mask=batch.mask)
+            return (states if return_outputs else None), pooled
         return kernels.rnn_forward(self.weight_plan(), events,
                                    lengths=batch.lengths, initial=initial,
                                    return_outputs=return_outputs)
@@ -142,8 +183,14 @@ class FusedEncoderRuntime:
         a ``(B, H)`` buffer in the policy dtype, or an ``(h, c)`` pair for
         LSTM.  Used to seed rows of entities the serving layer has never
         seen, so known and unknown entities can share one batched
-        :meth:`advance` call.
+        :meth:`advance` call.  Raises ``TypeError`` for transformer
+        runtimes, which have no carryable state.
         """
+        if not self.is_recurrent:
+            raise TypeError(
+                "transformer encoders have no carryable state: "
+                "incremental state advance is recurrence-specific"
+            )
         plan = self.weight_plan()
         hidden = np.tile(plan.init_state, (batch_size, 1))
         if self.is_lstm:
@@ -206,7 +253,15 @@ class FusedEncoderRuntime:
 
         Like :meth:`forward` but named for the streaming use: the returned
         state is ``c_{t+k}`` computed from ``c_t`` (``initial``) and the new
-        events only — the paper's incremental ETL property.
+        events only — the paper's incremental ETL property.  Raises
+        ``TypeError`` for transformer runtimes: attention reads the whole
+        history, so there is no state from which to advance.
         """
+        if not self.is_recurrent:
+            raise TypeError(
+                "transformer encoders cannot advance incrementally: "
+                "attention reads the whole event history (use the bulk "
+                "paths, or a recurrent encoder for streaming updates)"
+            )
         _, last = self.forward(batch, initial=initial, prev_times=prev_times)
         return last

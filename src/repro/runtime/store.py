@@ -183,10 +183,17 @@ class EmbeddingStore:
     (shard files and state bundles) independently of the compute
     precision.
 
+    Transformer encoders are served too: :meth:`bulk_load` records each
+    entity's pooled embedding state and the read paths work unchanged,
+    but the *incremental* methods (:meth:`update`, :meth:`update_many`)
+    raise ``TypeError`` — attention reads the whole history, so there is
+    no recurrent state to fold new events into.
+
     Parameters
     ----------
     encoder:
-        A trained :class:`~repro.encoders.RnnSeqEncoder`, or an already
+        A trained :class:`~repro.encoders.RnnSeqEncoder` or
+        :class:`~repro.encoders.TransformerSeqEncoder`, or an already
         constructed :class:`FusedEncoderRuntime`.
     precision:
         Dtype policy forwarded to the runtime (None: the runtime
@@ -227,8 +234,7 @@ class EmbeddingStore:
                 kwargs["workers"] = workers
             self.runtime = FusedEncoderRuntime(encoder, **kwargs)
         self.backend = resolve_backend(backend, backend_dir).attach(
-            self.runtime.output_dim,
-            "lstm" if self.runtime.is_lstm else "gru",
+            self.runtime.output_dim, self.runtime.state_kind,
             self.runtime.dtype, codec,
         )
 
@@ -414,7 +420,7 @@ class EmbeddingStore:
         """Read the pre-backend single-``.npz`` snapshot format."""
         arrays = load_arrays(path)
         kind = str(arrays["kind"])
-        expected = "lstm" if self.runtime.is_lstm else "gru"
+        expected = self.runtime.state_kind
         if kind != expected:
             raise ValueError(
                 "snapshot holds %s states but the runtime encoder is %s"

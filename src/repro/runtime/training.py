@@ -51,9 +51,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..encoders.seq_encoder import RnnSeqEncoder
+from ..encoders.seq_encoder import RnnSeqEncoder, TransformerSeqEncoder
 from ..nn.tensor import Tensor
-from . import kernels
+from . import attention, kernels
 
 __all__ = ["FusedTrainStep", "FusedForwardCache", "loss_gradient",
            "softmax_head_gradient", "softmax_head_probabilities",
@@ -63,16 +63,17 @@ __all__ = ["FusedTrainStep", "FusedForwardCache", "loss_gradient",
 def resolve_engine(engine, encoder):
     """Resolve the ``"auto"`` engine default for a concrete encoder.
 
-    Recurrent encoders (:class:`~repro.encoders.RnnSeqEncoder`) default
-    to the fused engine — gradient-equivalent to autograd and several
-    times faster; every other encoder (transformers) falls back to the
-    Tensor engine, which fused BPTT does not cover.  Explicit
-    ``"tensor"``/``"fused"`` requests pass through unchanged, so pinning
-    an engine still works (and pinning ``"fused"`` on a transformer
-    still fails loudly in :class:`FusedTrainStep`).
+    Every repro sequence encoder — recurrent
+    (:class:`~repro.encoders.RnnSeqEncoder`) and transformer
+    (:class:`~repro.encoders.TransformerSeqEncoder`) — defaults to the
+    fused engine: gradient-equivalent to autograd and several times
+    faster.  Encoders outside those families (custom modules) fall back
+    to the Tensor engine.  Explicit ``"tensor"``/``"fused"`` requests
+    pass through unchanged, so pinning an engine still works.
     """
     if engine == "auto":
-        return "fused" if isinstance(encoder, RnnSeqEncoder) else "tensor"
+        fused = isinstance(encoder, (RnnSeqEncoder, TransformerSeqEncoder))
+        return "fused" if fused else "tensor"
     return engine
 
 
@@ -169,7 +170,8 @@ class FusedForwardCache:
     """
 
     batch: object            # the PaddedBatch the step ran on
-    rnn_cache: object        # kernels.RnnTrainCache (rows in sorted order)
+    rnn_cache: object        # kernels.RnnTrainCache (rows sorted) or
+    #                          attention.TransformerTrainCache (batch order)
     perm: np.ndarray         # batch-order -> sorted-order permutation
     inverse: np.ndarray      # sorted-order -> batch-order permutation
     hidden: np.ndarray       # (B, H) final states, batch order, pre-head
@@ -228,22 +230,30 @@ class FusedTrainStep:
     step, which invalidates the plan, so training always runs on the
     freshly updated weights.
 
+    Transformer encoders run the same contract through the fused
+    attention kernels (:mod:`repro.runtime.attention`): graph-free
+    forward with training-mode batch norm and stream-aligned dropout
+    draws, hand-derived backward (softmax-Jacobian attention, LayerNorm,
+    GELU), gradients into the same live parameters.  Rows are not
+    re-sorted on that path — attention cost is set by the padded batch
+    shape, not by active row prefixes.
+
     ``precision`` selects the compute/cache dtype of the fused step:
     ``"float64"`` (the default — gradient-equivalent to autograd, the
     engine-parity reference) or ``"float32"`` (mixed precision: forward,
     cache and gradients in float32, master weights and optimizer state
     stay float64).
 
-    Raises ``TypeError`` for non-recurrent encoders: fused BPTT is
-    recurrence-specific (transformers keep the Tensor engine).
+    Raises ``TypeError`` for encoders outside the two fused families.
     """
 
     def __init__(self, encoder, precision="float64"):
-        if not isinstance(encoder, RnnSeqEncoder):
+        if not isinstance(encoder, (RnnSeqEncoder, TransformerSeqEncoder)):
             raise TypeError(
-                "the fused training engine requires a recurrent encoder "
-                "(got %s); use TrainConfig(engine=\"tensor\") for "
-                "transformers" % type(encoder).__name__
+                "the fused training engine requires an RnnSeqEncoder or "
+                "TransformerSeqEncoder (got %s); use "
+                "TrainConfig(engine=\"tensor\") for custom encoders"
+                % type(encoder).__name__
             )
         self.encoder = encoder
         self.dtype = kernels.resolve_precision(precision)
@@ -251,8 +261,19 @@ class FusedTrainStep:
         self._weight_plan = None
         self._encode_plan = None
 
+    @property
+    def is_recurrent(self):
+        """Whether the step drives the RNN kernels (else the attention path)."""
+        return isinstance(self.encoder, RnnSeqEncoder)
+
     def weight_plan(self):
         """The cached packed weight plan, rebuilt after each optimizer step."""
+        if not self.is_recurrent:
+            if not attention.transformer_plan_matches(self._weight_plan,
+                                                      self.encoder):
+                self._weight_plan = attention.build_transformer_plan(
+                    self.encoder, self.precision)
+            return self._weight_plan
         weights = self.encoder.rnn.export_weights()
         if not kernels.plan_matches(self._weight_plan, weights):
             self._weight_plan = kernels.build_weight_plan(weights,
@@ -280,6 +301,8 @@ class FusedTrainStep:
         x, bn_scaled = kernels.encode_events_train(self.encoder.trx_encoder,
                                                    batch,
                                                    plan=self.encode_plan())
+        if not self.is_recurrent:
+            return self._forward_transformer(batch, x, bn_scaled)
         lengths = np.asarray(batch.lengths)
         perm = np.argsort(-lengths, kind="stable")
         inverse = np.empty_like(perm)
@@ -295,6 +318,20 @@ class FusedTrainStep:
             embeddings = np.array(hidden, copy=True)
         return FusedForwardCache(batch=batch, rnn_cache=rnn_cache, perm=perm,
                                  inverse=inverse, hidden=hidden,
+                                 embeddings=embeddings, bn_scaled=bn_scaled)
+
+    def _forward_transformer(self, batch, x, bn_scaled):
+        """The attention-path forward: no row sort, pooled state as hidden."""
+        cache = attention.transformer_forward_train(self.weight_plan(), x,
+                                                    mask=batch.mask)
+        identity = np.arange(len(batch.lengths))
+        hidden = cache.pooled
+        if self.encoder.normalize:
+            embeddings = kernels.l2_normalize_rows(hidden)
+        else:
+            embeddings = np.array(hidden, copy=True)
+        return FusedForwardCache(batch=batch, rnn_cache=cache, perm=identity,
+                                 inverse=identity, hidden=hidden,
                                  embeddings=embeddings, bn_scaled=bn_scaled)
 
     # ------------------------------------------------------------------
@@ -326,6 +363,19 @@ class FusedTrainStep:
             if self.encoder.normalize:
                 d_hidden = kernels.l2_normalize_rows_backward(cache.hidden,
                                                               d_hidden)
+        if not self.is_recurrent:
+            grads = attention.transformer_backward(
+                self.weight_plan(), cache.rnn_cache, d_hidden,
+                d_states=(None if d_states is None
+                          else np.asarray(d_states, dtype=self.dtype)))
+            params = attention.transformer_parameters(self.encoder)
+            for name, param in params.items():
+                _accumulate(param, grads.get(name))
+            d_x = grads["d_x"]
+            if d_events is not None:
+                d_x = d_x + np.asarray(d_events, dtype=self.dtype)
+            self._encode_events_backward(cache.batch, d_x, cache.bn_scaled)
+            return
         d_outputs = None
         if d_states is not None:
             d_outputs = np.asarray(d_states, dtype=self.dtype)[cache.perm]

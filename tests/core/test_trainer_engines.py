@@ -2,9 +2,9 @@
 
 ``TrainConfig(engine=...)`` (and ``PretrainConfig(engine=...)`` for the
 baselines) switches the encoder's forward+backward between the autograd
-graph and the fused BPTT runtime; the default ``"auto"`` resolves to
-fused for recurrent encoders and tensor for transformers.  The contract
-tested here:
+graph and the fused graph-free runtime (hand-derived BPTT for GRU/LSTM,
+the attention reverse pass for transformers); the default ``"auto"``
+resolves to fused for every repro encoder.  The contract tested here:
 
 - after 0 steps the engines are indistinguishable — byte-identical
   checkpoints (selecting an engine must not touch the weights);
@@ -12,11 +12,11 @@ tested here:
   agree to < 1e-8 (same gradients -> same Adam trajectory) — for the
   final-embedding objectives (CoLES, NSP/SOP), the per-step ones
   (CPC, RTD) *and* supervised fine-tuning (``FineTuneConfig``,
-  GRU+LSTM x bucketed/unsorted batches x fresh/pre-trained encoder,
-  with and without a distinct ``encoder_learning_rate``);
-- "auto" picks fused for GRU/LSTM and tensor for transformers;
+  GRU+LSTM+transformer x bucketed/unsorted batches x fresh/pre-trained
+  encoder, with and without a distinct ``encoder_learning_rate``);
+- "auto" picks fused for GRU, LSTM *and* transformer encoders;
 - ``predict_proba`` agrees across inference paths to < 1e-10;
-- invalid engines and unsupported encoders fail loudly.
+- invalid engines and encoders outside the repro families fail loudly.
 """
 
 import numpy as np
@@ -51,11 +51,12 @@ def _trainer(dataset, engine, cell="gru", num_epochs=2):
                               RandomSlices(5, 20, 3), config)
 
 
-def test_engines_byte_identical_after_zero_steps():
+@pytest.mark.parametrize("cell", ["gru", "transformer"])
+def test_engines_byte_identical_after_zero_steps(cell):
     """Selecting an engine is free: no weight is touched before step 1."""
     dataset = _dataset()
-    tensor = _trainer(dataset, "tensor")
-    fused = _trainer(dataset, "fused")
+    tensor = _trainer(dataset, "tensor", cell=cell)
+    fused = _trainer(dataset, "fused", cell=cell)
     tensor_state = tensor.encoder.state_dict()
     fused_state = fused.encoder.state_dict()
     assert tensor_state.keys() == fused_state.keys()
@@ -63,7 +64,7 @@ def test_engines_byte_identical_after_zero_steps():
         assert value.tobytes() == fused_state[name].tobytes(), name
 
 
-@pytest.mark.parametrize("cell", ["gru", "lstm"])
+@pytest.mark.parametrize("cell", ["gru", "lstm", "transformer"])
 def test_engines_equivalent_after_training(cell):
     """N small steps on either engine land on the same weights (< 1e-8)."""
     dataset = _dataset()
@@ -169,16 +170,17 @@ def test_per_step_baselines_engines_equivalent(task_cls, cell):
 
 
 def test_auto_engine_resolution():
-    """"auto" -> fused for recurrent encoders, tensor for transformers."""
+    """"auto" -> fused for every repro encoder, transformers included."""
     dataset = _dataset()
     rnn = build_encoder(dataset.schema, 8, "gru",
                         rng=np.random.default_rng(0))
     transformer = build_encoder(dataset.schema, 8, "transformer",
                                 rng=np.random.default_rng(0))
     assert resolve_engine("auto", rnn) == "fused"
-    assert resolve_engine("auto", transformer) == "tensor"
+    assert resolve_engine("auto", transformer) == "fused"
     # Explicit pins pass through for any encoder.
     assert resolve_engine("tensor", rnn) == "tensor"
+    assert resolve_engine("tensor", transformer) == "tensor"
     assert resolve_engine("fused", transformer) == "fused"
 
 
@@ -194,15 +196,16 @@ def test_trainer_defaults_to_fused_for_recurrent_encoders():
     assert trainer._fused_step is not None
 
 
-def test_trainer_defaults_to_tensor_for_transformers():
-    """...and transformers fall back to the tensor engine silently."""
+def test_trainer_defaults_to_fused_for_transformers():
+    """...and transformers run the fused attention engine by default."""
     dataset = _dataset()
     encoder = build_encoder(dataset.schema, 8, "transformer",
                             rng=np.random.default_rng(0))
     trainer = ContrastiveTrainer(encoder, ContrastiveLoss(),
                                  RandomSlices(5, 20, 3))
-    assert trainer.engine == "tensor"
-    assert trainer._fused_step is None
+    assert trainer.engine == "fused"
+    assert trainer._fused_step is not None
+    assert not trainer._fused_step.is_recurrent
 
 
 @pytest.mark.parametrize("task_cls", [CPC, RTD, NSP, SOP])
@@ -219,23 +222,27 @@ def test_baselines_default_to_fused_for_recurrent_encoders(task_cls):
     assert task.engine == "fused"
 
 
-def test_pair_baseline_defaults_to_tensor_for_transformers():
-    """NSP over a transformer resolves "auto" to the tensor engine."""
+def test_pair_baseline_defaults_to_fused_for_transformers():
+    """NSP over a transformer resolves "auto" to the fused engine."""
     dataset = _dataset()
     encoder = build_encoder(dataset.schema, 8, "transformer",
                             rng=np.random.default_rng(0))
     task = NSP(encoder, dataset.schema, seed=0)
     task.fit(dataset, PretrainConfig(num_epochs=1, batch_size=6))
-    assert task.engine == "tensor"
+    assert task.engine == "fused"
 
 
-def test_fused_engine_rejects_transformer():
-    """The fused engine is recurrence-specific and says so at build time."""
-    dataset = _dataset()
-    encoder = build_encoder(dataset.schema, 8, "transformer",
-                            rng=np.random.default_rng(0))
+class _CustomEncoder:
+    """A stand-in outside the repro encoder families."""
+
+    output_dim = 8
+
+
+def test_fused_engine_rejects_custom_encoders():
+    """The fused engine covers repro encoders only, and says so at build."""
     with pytest.raises(TypeError):
-        ContrastiveTrainer(encoder, ContrastiveLoss(), RandomSlices(5, 20, 3),
+        ContrastiveTrainer(_CustomEncoder(), ContrastiveLoss(),
+                           RandomSlices(5, 20, 3),
                            TrainConfig(engine="fused"))
 
 
@@ -334,7 +341,7 @@ def test_finetune_engines_byte_identical_after_zero_steps():
         assert param.data.tobytes() == fused_head[name].data.tobytes(), name
 
 
-@pytest.mark.parametrize("cell", ["gru", "lstm"])
+@pytest.mark.parametrize("cell", ["gru", "lstm", "transformer"])
 @pytest.mark.parametrize("bucket_window", [None, 2],
                          ids=["unsorted", "bucketed"])
 @pytest.mark.parametrize("pretrained", [False, True],
@@ -343,9 +350,10 @@ def test_finetune_engines_equivalent_after_training(cell, bucket_window,
                                                     pretrained):
     """Fine-tuning lands on the same weights on either engine (< 1e-8).
 
-    The property grid: GRU + LSTM, length-bucketed and fully random
-    batch plans, fresh and CoLES-pre-trained encoders.  History (mean
-    cross-entropy per epoch), encoder state and head must all agree.
+    The property grid: GRU + LSTM + transformer, length-bucketed and
+    fully random batch plans, fresh and CoLES-pre-trained encoders.
+    History (mean cross-entropy per epoch), encoder state and head must
+    all agree.
     """
     dataset = _labeled_dataset()
     tensor_clf = _finetune(dataset, "tensor", cell=cell,
@@ -358,7 +366,7 @@ def test_finetune_engines_equivalent_after_training(cell, bucket_window,
     _assert_classifiers_close(fused_clf, tensor_clf)
 
 
-@pytest.mark.parametrize("cell", ["gru", "lstm"])
+@pytest.mark.parametrize("cell", ["gru", "lstm", "transformer"])
 def test_finetune_distinct_encoder_lr_equivalent(cell):
     """Per-group learning rates track each other across engines.
 
@@ -371,10 +379,11 @@ def test_finetune_distinct_encoder_lr_equivalent(cell):
     _assert_classifiers_close(fused_clf, tensor_clf)
 
 
-def test_predict_proba_paths_agree():
+@pytest.mark.parametrize("cell", ["gru", "transformer"])
+def test_predict_proba_paths_agree(cell):
     """Fused-runtime ``predict_proba`` == the Tensor loop, < 1e-10."""
     dataset = _labeled_dataset(seed=4)
-    classifier = _finetune(dataset, "fused", num_epochs=1)
+    classifier = _finetune(dataset, "fused", cell=cell, num_epochs=1)
     probs = classifier.predict_proba(dataset, batch_size=5)
     reference = np.zeros_like(probs)
     classifier.encoder.eval()
@@ -390,23 +399,21 @@ def test_predict_proba_paths_agree():
 
 
 def test_finetune_auto_engine_resolution():
-    """Fine-tuning "auto" -> fused for GRU/LSTM, tensor for transformers."""
+    """Fine-tuning "auto" -> fused for recurrent *and* transformer."""
     dataset = _labeled_dataset()
     classifier = _finetune(dataset, "auto", num_epochs=1)
     assert classifier.engine == "fused"
     transformer = build_encoder(dataset.schema, 8, "transformer",
                                 rng=np.random.default_rng(0))
-    fallback = SequenceClassifier(transformer, num_classes=2, seed=2)
-    fallback.fit(dataset, FineTuneConfig(num_epochs=1, batch_size=6, seed=3))
-    assert fallback.engine == "tensor"
+    trx_clf = SequenceClassifier(transformer, num_classes=2, seed=2)
+    trx_clf.fit(dataset, FineTuneConfig(num_epochs=1, batch_size=6, seed=3))
+    assert trx_clf.engine == "fused"
 
 
-def test_finetune_fused_engine_rejects_transformer():
-    """Pinning engine="fused" on a transformer fails loudly at fit()."""
+def test_finetune_fused_engine_rejects_custom_encoder():
+    """Pinning engine="fused" on a non-repro encoder fails loudly at fit()."""
     dataset = _labeled_dataset()
-    transformer = build_encoder(dataset.schema, 8, "transformer",
-                                rng=np.random.default_rng(0))
-    classifier = SequenceClassifier(transformer, num_classes=2, seed=2)
+    classifier = SequenceClassifier(_CustomEncoder(), num_classes=2, seed=2)
     with pytest.raises(TypeError):
         classifier.fit(dataset, FineTuneConfig(num_epochs=1, engine="fused"))
 

@@ -94,15 +94,15 @@ class TestDownstream:
             )
         assert scores["fused"] == pytest.approx(scores["tensor"], abs=1e-6)
 
-    def test_fine_tune_and_evaluate_transformer_falls_back(self, age):
-        """Default "auto" config: transformers run on the tensor engine."""
+    def test_fine_tune_and_evaluate_transformer_runs_fused(self, age):
+        """Default "auto" config: transformers run on the fused engine."""
         from repro.data import train_test_split
         from repro.runtime import resolve_engine
 
         train, test = train_test_split(age, 0.2, seed=0)
         encoder = build_encoder(age.schema, 8, "transformer",
                                 rng=np.random.default_rng(0))
-        assert resolve_engine("auto", encoder) == "tensor"
+        assert resolve_engine("auto", encoder) == "fused"
         from repro.baselines import FineTuneConfig
 
         score = fine_tune_and_evaluate(

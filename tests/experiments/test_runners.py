@@ -110,10 +110,9 @@ class TestRunners:
         }
         assert scores["fused"] == pytest.approx(scores["tensor"], abs=1e-6)
 
-    def test_phase2b_transformer_profile_falls_back_to_tensor(self,
-                                                              tiny_split):
-        """A transformer profile fine-tunes via the tensor engine under
-        the default ``engine="auto"`` (the fused path rejects it)."""
+    def test_phase2b_transformer_profile_runs_fused(self, tiny_split):
+        """A transformer profile fine-tunes on the fused attention engine
+        under the default ``engine="auto"``."""
         from repro.encoders import build_encoder
         from repro.runtime import resolve_engine
 
@@ -122,7 +121,7 @@ class TestRunners:
         train, test = tiny_split
         encoder = build_encoder(train.schema, profile.hidden_size,
                                 profile.encoder)
-        assert resolve_engine("auto", encoder) == "tensor"
+        assert resolve_engine("auto", encoder) == "fused"
         score = phase2b_test_metric(profile, "supervised", train, test,
                                     seed=0)
         assert 0.0 <= score <= 1.0

@@ -134,16 +134,39 @@ def test_embed_dataset_rejects_unknown_runtime(dataset):
         embed_dataset(encoder, dataset, runtime="cuda")
 
 
-def test_transformer_falls_back_to_tensor_path(dataset):
+def test_transformer_serves_through_fused_runtime(dataset):
+    """Transformers serve on the attention kernels — no tensor fallback."""
     transformer = build_encoder(dataset.schema, 8, "transformer",
                                 rng=np.random.default_rng(5))
-    with pytest.raises(TypeError):
-        FusedEncoderRuntime(transformer)
-    with pytest.raises(TypeError):
-        embed_dataset(transformer, dataset, runtime="fused")
-    auto = embed_dataset(transformer, dataset, batch_size=8)
+    runtime = FusedEncoderRuntime(transformer, precision="float64")
+    assert runtime.state_kind == "transformer"
+    assert not runtime.is_recurrent
     ref = embed_dataset(transformer, dataset, batch_size=8, runtime="tensor")
+    fused = embed_dataset(transformer, dataset, batch_size=8,
+                          runtime="fused", precision="float64")
+    auto = embed_dataset(transformer, dataset, batch_size=8,
+                         precision="float64")
+    np.testing.assert_allclose(fused, ref, atol=ATOL)
     np.testing.assert_allclose(auto, ref, atol=ATOL)
+    batch = collate(dataset.sequences[:5], dataset.schema)
+    with no_grad():
+        batch_ref = transformer.embed(batch).data
+    np.testing.assert_allclose(runtime.embed_batch(batch), batch_ref,
+                               atol=ATOL)
+
+
+def test_transformer_runtime_has_no_incremental_surface(dataset):
+    """Attention reads whole histories: the streaming API stays recurrent."""
+    transformer = build_encoder(dataset.schema, 8, "transformer",
+                                rng=np.random.default_rng(5))
+    runtime = FusedEncoderRuntime(transformer)
+    batch = collate(dataset.sequences[:3], dataset.schema)
+    with pytest.raises(TypeError):
+        runtime.default_state(3)
+    with pytest.raises(TypeError):
+        runtime.advance(np.zeros((3, 8)), batch)
+    with pytest.raises(TypeError):
+        runtime.forward(batch, initial=np.zeros((3, 8)))
 
 
 def test_embed_empty_dataset(dataset):

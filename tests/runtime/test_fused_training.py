@@ -395,13 +395,19 @@ def test_fused_forward_rejects_out_of_range_ids():
         FusedTrainStep(encoder).forward(batch)  # ...and so does fused
 
 
-def test_fused_step_rejects_non_recurrent_encoders():
-    """Transformers stay on the Tensor engine; the error says so."""
+def test_fused_step_covers_transformers_rejects_custom():
+    """Every repro encoder has a fused step; custom encoders fail loudly."""
     dataset, _ = _coles_batch(seed=1)
     transformer = build_encoder(dataset.schema, 8, "transformer",
                                 rng=np.random.default_rng(0))
+    step = FusedTrainStep(transformer)
+    assert not step.is_recurrent
+
+    class Custom:
+        output_dim = 8
+
     with pytest.raises(TypeError):
-        FusedTrainStep(transformer)
+        FusedTrainStep(Custom())
 
 
 def test_l2_normalize_backward_matches_autograd():

@@ -117,10 +117,20 @@ class TestStoreApi:
         store.update(7, dataset[0].slice(0, 8), dataset.schema)
         assert 7 in store and len(store) == 1
 
-    def test_rejects_transformer(self, dataset):
-        transformer = build_encoder(dataset.schema, 8, "transformer")
+    def test_transformer_bulk_serves_but_never_streams(self, dataset):
+        """Transformer stores bulk-load and read; update() fails loudly."""
+        transformer = build_encoder(dataset.schema, 8, "transformer",
+                                    rng=np.random.default_rng(7))
+        store = EmbeddingStore(transformer, precision="float64")
+        store.bulk_load(dataset)
+        assert len(store) == len(dataset)
+        runtime = transformer.fused_runtime(precision="float64")
+        reference = runtime.embed_dataset(dataset)
+        ids = [seq.seq_id for seq in dataset.sequences]
+        np.testing.assert_allclose(store.embeddings(ids), reference,
+                                   atol=1e-12)
         with pytest.raises(TypeError):
-            EmbeddingStore(transformer)
+            store.update(ids[0], dataset[0].slice(0, 5), dataset.schema)
 
     def test_load_rejects_cell_mismatch(self, dataset, tmp_path):
         gru_store = EmbeddingStore(_encoder(dataset, "gru"))
