@@ -1,0 +1,39 @@
+"""Static analysis for the repro runtime — alias of :mod:`reprolint`.
+
+The implementation lives in the top-level :mod:`reprolint` package so
+that ``python -m reprolint`` runs without importing (or installing) the
+numpy-backed :mod:`repro` tree; this module re-exports the public API
+under the repo's package namespace for in-repo use::
+
+    from repro.analysis import lint_paths, all_rules, load_config
+
+See ``docs/static-analysis.md`` for the rule catalogue.
+"""
+
+from reprolint import (
+    Baseline,
+    Config,
+    Finding,
+    LintModule,
+    Rule,
+    all_rules,
+    fingerprint,
+    lint_paths,
+    load_config,
+    render_json,
+    render_text,
+)
+
+__all__ = [
+    "Baseline",
+    "Config",
+    "Finding",
+    "LintModule",
+    "Rule",
+    "all_rules",
+    "fingerprint",
+    "lint_paths",
+    "load_config",
+    "render_json",
+    "render_text",
+]

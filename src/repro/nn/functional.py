@@ -49,9 +49,10 @@ def cross_entropy(logits, targets, reduction="mean"):
     targets:
         Integer array of shape ``(N,)``.
     """
+    # reprolint: disable=RP001 -- int class labels, never a float buffer.
     targets = np.asarray(targets)
     logp = log_softmax(logits, axis=-1)
-    picked = logp[np.arange(len(targets)), targets]
+    picked = logp[np.arange(len(targets), dtype=np.intp), targets]
     loss = -picked
     if reduction == "mean":
         return loss.mean()

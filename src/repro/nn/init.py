@@ -37,7 +37,7 @@ def normal(shape, rng, std=0.02):
 
 
 def zeros(shape):
-    return np.zeros(shape)
+    return np.zeros(shape, dtype=np.float64)
 
 
 def _fans(shape):

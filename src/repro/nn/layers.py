@@ -32,7 +32,8 @@ class Linear(Module):
         self.in_features = in_features
         self.out_features = out_features
         self.weight = Parameter(init.xavier_uniform((out_features, in_features), rng))
-        self.bias = Parameter(np.zeros(out_features)) if bias else None
+        self.bias = (Parameter(np.zeros(out_features, dtype=np.float64))
+                     if bias else None)
 
     def forward(self, x):
         out = x @ self.weight.T
@@ -61,6 +62,7 @@ class Embedding(Module):
         self.weight = Parameter(weight)
 
     def forward(self, ids):
+        # reprolint: disable=RP001 -- ids keep their integer dtype.
         ids = np.asarray(ids)
         if ids.min() < 0 or ids.max() >= self.num_embeddings:
             raise IndexError(
@@ -83,10 +85,12 @@ class BatchNorm1d(Module):
         self.num_features = num_features
         self.momentum = momentum
         self.eps = eps
-        self.weight = Parameter(np.ones(num_features))
-        self.bias = Parameter(np.zeros(num_features))
-        self.register_buffer("running_mean", np.zeros(num_features))
-        self.register_buffer("running_var", np.ones(num_features))
+        self.weight = Parameter(np.ones(num_features, dtype=np.float64))
+        self.bias = Parameter(np.zeros(num_features, dtype=np.float64))
+        self.register_buffer("running_mean",
+                             np.zeros(num_features, dtype=np.float64))
+        self.register_buffer("running_var",
+                             np.ones(num_features, dtype=np.float64))
 
     def forward(self, x, mask=None):
         if self.training:
@@ -122,8 +126,8 @@ class LayerNorm(Module):
         super().__init__()
         self.num_features = num_features
         self.eps = eps
-        self.weight = Parameter(np.ones(num_features))
-        self.bias = Parameter(np.zeros(num_features))
+        self.weight = Parameter(np.ones(num_features, dtype=np.float64))
+        self.bias = Parameter(np.zeros(num_features, dtype=np.float64))
 
     def forward(self, x):
         mean = x.mean(axis=-1, keepdims=True)

@@ -82,19 +82,23 @@ class _RecurrentBase(Module):
                 axis=0,
             )
         )
-        self.bias_ih = Parameter(np.zeros(gates * hidden_size))
-        self.bias_hh = Parameter(np.zeros(gates * hidden_size))
+        self.bias_ih = Parameter(np.zeros(gates * hidden_size,
+                                          dtype=np.float64))
+        self.bias_hh = Parameter(np.zeros(gates * hidden_size,
+                                          dtype=np.float64))
         if learn_init_state:
-            self.init_state = Parameter(np.zeros(hidden_size))
+            self.init_state = Parameter(np.zeros(hidden_size,
+                                                 dtype=np.float64))
         else:
             self.init_state = None
 
     def initial_state(self, batch_size):
         """Initial hidden state ``c_0`` broadcast over the batch."""
         if self.init_state is not None:
-            ones = Tensor(np.ones((batch_size, 1)))
+            ones = Tensor(np.ones((batch_size, 1), dtype=np.float64))
             return ones @ self.init_state.reshape(1, self.hidden_size)
-        return Tensor(np.zeros((batch_size, self.hidden_size)))
+        return Tensor(np.zeros((batch_size, self.hidden_size),
+                               dtype=np.float64))
 
     def _gate_chunks(self, x_t, hidden):
         """Input and hidden projections split per gate."""
@@ -137,7 +141,7 @@ class _RecurrentBase(Module):
         format by construction.
         """
         hidden = self.hidden_size
-        zeros = np.zeros(hidden)
+        zeros = np.zeros(hidden, dtype=np.float64)
         init_cell = getattr(self, "init_cell", None)
         return CellWeights(
             kind="lstm" if self.num_gates == 4 else "gru",
@@ -206,15 +210,17 @@ class LSTM(_RecurrentBase):
     def __init__(self, input_size, hidden_size, learn_init_state=True, rng=None):
         super().__init__(input_size, hidden_size, learn_init_state, rng)
         if learn_init_state:
-            self.init_cell = Parameter(np.zeros(hidden_size))
+            self.init_cell = Parameter(np.zeros(hidden_size,
+                                                dtype=np.float64))
         else:
             self.init_cell = None
 
     def initial_cell(self, batch_size):
         if self.init_cell is not None:
-            ones = Tensor(np.ones((batch_size, 1)))
+            ones = Tensor(np.ones((batch_size, 1), dtype=np.float64))
             return ones @ self.init_cell.reshape(1, self.hidden_size)
-        return Tensor(np.zeros((batch_size, self.hidden_size)))
+        return Tensor(np.zeros((batch_size, self.hidden_size),
+                               dtype=np.float64))
 
     def step(self, x_t, state):
         """One recurrence step on ``state = (hidden, cell)``."""

@@ -28,6 +28,8 @@ def save_arrays(path, arrays):
     serving-side state — e.g. the per-entity recurrent states of an
     :class:`~repro.runtime.EmbeddingStore` snapshot.
     """
+    # reprolint: disable=RP001 -- the archive preserves each array's
+    # own dtype; casting here would corrupt integer/float16 payloads.
     np.savez(path, **{key: np.asarray(value) for key, value in arrays.items()})
 
 

@@ -450,6 +450,8 @@ class Tensor:
 
     def take_rows(self, indices):
         """Gather rows along axis 0 (embedding-style lookup)."""
+        # reprolint: disable=RP001 -- gather indices keep their
+        # integer dtype.
         indices = np.asarray(indices)
         out_data = self.data[indices]
 

@@ -24,11 +24,12 @@ __all__ = [
 
 def sinusoidal_positions(length, dim):
     """The fixed sin/cos positional table of the original Transformer."""
-    positions = np.arange(length)[:, None]
+    positions = np.arange(length, dtype=np.float64)[:, None]
     half = (dim + 1) // 2
-    freqs = np.exp(-np.log(10000.0) * (np.arange(half) / half))[None, :]
+    freqs = np.exp(-np.log(10000.0)
+                   * (np.arange(half, dtype=np.float64) / half))[None, :]
     angles = positions * freqs
-    table = np.zeros((length, dim))
+    table = np.zeros((length, dim), dtype=np.float64)
     table[:, 0::2] = np.sin(angles)[:, : table[:, 0::2].shape[1]]
     table[:, 1::2] = np.cos(angles)[:, : table[:, 1::2].shape[1]]
     return table

@@ -303,6 +303,9 @@ def _pool_weights(mask, batch, steps, dtype):
     """Masked-mean pooling weights ``(B, T)`` (uniform without a mask)."""
     if mask is None:
         return np.full((batch, steps), 1.0 / steps, dtype=dtype)
+    # reprolint: disable=RP002 -- deliberate: the mask sum/divide runs in
+    # float64 to match the autograd reference op order bit-for-bit; the
+    # single astype below is the one policy cast (parity tests pin this).
     mask_arr = np.asarray(mask, dtype=np.float64)
     weights = mask_arr / np.maximum(mask_arr.sum(axis=1, keepdims=True), 1.0)
     return weights.astype(dtype, copy=False)
@@ -426,6 +429,8 @@ class TransformerTrainCache:
 def transformer_forward_train(plan, x, mask=None):
     """Training-mode fused forward; returns a :class:`TransformerTrainCache`.
 
+    ``x`` is the ``(B, T, D)`` event-representation array in the plan's
+    dtype and ``mask`` an optional ``(B, T)`` boolean validity array.
     Identical math to :func:`transformer_forward` plus the dropout draws
     of the autograd path: each active :class:`~repro.nn.Dropout` module
     of the live stack (``plan.module``) consumes one ``rng.random`` draw

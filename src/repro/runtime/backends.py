@@ -139,11 +139,13 @@ class IdentityCodec(StateCodec):
     name = "identity"
 
     def encode(self, block):
-        """Pass the block through unchanged."""
+        """Pass the ``(rows, width)`` policy-dtype block through unchanged."""
         return {"values": np.ascontiguousarray(block)}
 
     def decode(self, arrays, width, dtype):
         """Cast back to the requested dtype (fresh array)."""
+        # reprolint: disable=RP001 -- the stored dtype is whatever encode
+        # persisted; the astype right after is the one policy cast.
         return np.asarray(arrays["values"]).astype(dtype, copy=True)
 
     def values_nbytes(self, rows, width, dtype):
@@ -163,6 +165,8 @@ class Float16Codec(StateCodec):
 
     def decode(self, arrays, width, dtype):
         """Up-cast the stored float16 values to the compute dtype."""
+        # reprolint: disable=RP001 -- the stored values are float16 by
+        # construction; the astype right after is the one policy cast.
         return np.asarray(arrays["values"]).astype(dtype, copy=True)
 
     def values_nbytes(self, rows, width, dtype):
@@ -198,8 +202,10 @@ class QuantizedCodec(StateCodec):
             self.name = "quant%d" % self.levels
 
     def encode(self, block):
-        """Quantize a block; 4-bit codes pack two-per-byte."""
+        """Quantize a ``(rows, width)`` float block; 4-bit codes pack two-per-byte."""
         quant = _quantization()
+        # reprolint: disable=RP001 -- quantization ranges are computed in
+        # the block's own (policy) dtype; no cast belongs here.
         block = np.asarray(block)
         if block.shape[0] == 0:
             width = block.shape[1]
@@ -216,12 +222,16 @@ class QuantizedCodec(StateCodec):
     def decode(self, arrays, width, dtype):
         """Dequantize stored codes back to the compute dtype."""
         quant = _quantization()
+        # reprolint: disable=RP001 -- codes are uint8 and minimums/scales
+        # carry the encode-time dtype; dequantize() applies the policy cast.
         codes = np.asarray(arrays["codes"])
         if self.packed:
             codes = quant.unpack_uint4(codes, width)
         block = quant.QuantizedEmbeddings(
-            codes=codes, minimums=np.asarray(arrays["minimums"]),
-            scales=np.asarray(arrays["scales"]), levels=self.levels,
+            codes=codes,
+            minimums=np.asarray(arrays["minimums"]),  # reprolint: disable=RP001 -- stored dtype
+            scales=np.asarray(arrays["scales"]),  # reprolint: disable=RP001 -- stored dtype
+            levels=self.levels,
         ).dequantize(dtype=dtype)
         return np.ascontiguousarray(block)
 
@@ -286,8 +296,13 @@ def _shard_files(directory, index):
 
 def write_state_shard(directory, index, entity_ids, hidden, cell,
                       last_times, codec):
-    """Persist one encoded state shard (data ``.npy`` + ``meta.npz``)."""
+    """Persist one encoded state shard (data ``.npy`` + ``meta.npz``).
+
+    ``hidden`` (and ``cell`` for LSTM states) are ``(rows, H)`` blocks in
+    the runtime's policy dtype; ``last_times`` is stored as float64.
+    """
     hidden_path, cell_path, meta_path = _shard_files(directory, index)
+    # reprolint: disable=RP001 -- entity ids keep their input integer dtype.
     meta = {"entity_ids": np.asarray(entity_ids),
             "last_times": np.asarray(last_times, dtype=np.float64)}
     for field, block, path in (("hidden", hidden, hidden_path),
@@ -568,7 +583,8 @@ class DictStateBackend(StateBackend):
             hidden = np.stack([self._hidden[e] for e in chunk])
             cell = (np.stack([self._cell[e] for e in chunk])
                     if self.is_lstm else None)
-            last_times = np.asarray([self._last[e] for e in chunk])
+            last_times = np.asarray([self._last[e] for e in chunk],
+                            dtype=np.float64)
             yield chunk, hidden, cell, last_times
 
 
@@ -700,7 +716,8 @@ class MemmapStateBackend(StateBackend):
         """Encode and persist one shard's used rows."""
         ids = self._shard_ids[shard]
         rows = len(ids)
-        last_times = np.asarray([self._last[e] for e in ids])
+        last_times = np.asarray([self._last[e] for e in ids],
+                                dtype=np.float64)
         write_state_shard(
             self.directory, shard, ids, hot.hidden[:rows],
             hot.cell[:rows] if self.is_lstm else None, last_times,
@@ -733,7 +750,11 @@ class MemmapStateBackend(StateBackend):
         return hidden, cell, self._last.get(entity_id)
 
     def put(self, entity_id, hidden, cell, last_time):
-        """Write one entity's state into its (possibly new) shard row."""
+        """Write one entity's state into its (possibly new) shard row.
+
+        ``hidden`` (and ``cell`` for LSTM states) are ``(H,)`` buffers in
+        the backend's policy dtype; the shard row copies them.
+        """
         location = self._index.get(entity_id)
         if location is None:
             location = self._reserve(entity_id)
@@ -829,7 +850,8 @@ class MemmapStateBackend(StateBackend):
             rows = len(ids)
             yield (list(ids), hot.hidden[:rows].copy(),
                    hot.cell[:rows].copy() if self.is_lstm else None,
-                   np.asarray([self._last[e] for e in ids]))
+                   np.asarray([self._last[e] for e in ids],
+                              dtype=np.float64))
 
     def stats(self):
         """Shard/LRU telemetry on top of the base entity count."""

@@ -201,6 +201,8 @@ class FusedEncoderRuntime:
         """Embedding head on ``(B, H)`` hidden states: l2 when configured."""
         if self.encoder.normalize:
             return kernels.l2_normalize_rows(hidden)
+        # reprolint: disable=RP001 -- defensive copy preserves the stored
+        # state's policy dtype by construction.
         return np.array(hidden, copy=True)
 
     def embed_batch(self, batch):
@@ -251,7 +253,10 @@ class FusedEncoderRuntime:
     def advance(self, batch, initial=None, prev_times=None):
         """Fold a chunk of new events into per-entity states.
 
-        Like :meth:`forward` but named for the streaming use: the returned
+        ``initial`` is a ``(B, H)`` state buffer (an ``(h, c)`` pair for
+        LSTM) and ``prev_times`` a ``(B,)`` float64 array of boundary
+        timestamps, both row-aligned with ``batch``.  Like
+        :meth:`forward` but named for the streaming use: the returned
         state is ``c_{t+k}`` computed from ``c_t`` (``initial``) and the new
         events only — the paper's incremental ETL property.  Raises
         ``TypeError`` for transformer runtimes: attention reads the whole

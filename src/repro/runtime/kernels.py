@@ -222,9 +222,12 @@ def _weight_sources(weights):
 def build_weight_plan(weights, precision="float64"):
     """Precompute the per-weight work of the kernels for one generation.
 
-    ``float64`` keeps the recurrent bias per-step (historical op order,
-    bit-comparable to the Tensor path); ``float32`` folds it into the
-    input projection where exact (everything except the GRU n-gate).
+    ``weights`` is a :class:`~repro.nn.CellWeights` view of the live
+    float64 parameter buffers; the plan stores pre-cast, pre-transposed
+    copies in the ``precision`` dtype.  ``float64`` keeps the recurrent
+    bias per-step (historical op order, bit-comparable to the Tensor
+    path); ``float32`` folds it into the input projection where exact
+    (everything except the GRU n-gate).
     """
     dtype = resolve_precision(precision)
     size = weights.hidden_size
@@ -257,7 +260,13 @@ def build_weight_plan(weights, precision="float64"):
 
 
 def plan_matches(plan, weights):
-    """Whether ``plan`` was built from exactly these live weight buffers."""
+    """Whether ``plan`` was built from exactly these live weight buffers.
+
+    ``weights`` is the current :class:`~repro.nn.CellWeights` view; the
+    comparison is by array *identity* (``is``), which is exactly the
+    granularity at which the optimisers invalidate (they rebind
+    ``param.data`` to a fresh buffer every step).
+    """
     if plan is None:
         return False
     current = _weight_sources(weights)
@@ -345,7 +354,7 @@ def _plan_input_gates(plan, x):
     # is unaffected.
     xt = x.swapaxes(0, 1)
     if xt.dtype != plan.dtype:
-        xt = xt.astype(plan.dtype, order="C")
+        xt = xt.astype(plan.dtype, order="C", copy=False)
     else:
         xt = np.ascontiguousarray(xt)
     gates = xt.reshape(steps * batch, dim) @ plan.w_ih_t
@@ -375,15 +384,16 @@ def _active_counts(lengths, steps):
     """
     if lengths is None:
         return None
-    lengths = np.asarray(lengths)
+    lengths = np.asarray(lengths, dtype=np.intp)
     if len(lengths) > 1 and np.any(np.diff(lengths) > 0):
         return None
     return len(lengths) - np.searchsorted(
-        lengths[::-1], np.arange(steps), side="right")
+        lengths[::-1], np.arange(steps, dtype=np.intp), side="right")
 
 
 def _mask_from_lengths(lengths, steps):
-    return np.arange(steps)[None, :] < np.asarray(lengths)[:, None]
+    return (np.arange(steps, dtype=np.intp)[None, :]
+            < np.asarray(lengths, dtype=np.intp)[:, None])
 
 
 # ----------------------------------------------------------------------
@@ -570,7 +580,15 @@ def lstm_forward(weights, x, lengths=None, mask=None, initial=None,
 
 def rnn_forward(weights, x, lengths=None, mask=None, initial=None,
                 return_outputs=False):
-    """Dispatch to the fused GRU or LSTM kernel by ``weights.kind``."""
+    """Dispatch to the fused GRU or LSTM kernel by ``weights.kind``.
+
+    ``weights`` is a :class:`~repro.nn.CellWeights` view or an already
+    packed :class:`WeightPlan`; ``x`` is the ``(B, T, D)`` event array
+    (cast to the plan dtype on entry); ``lengths`` are per-row step
+    counts (ints), ``mask`` the ``(B, T)`` boolean validity mask, and
+    ``initial`` the ``(B, H)`` seed state (an ``(h, c)`` pair for LSTM)
+    in any float dtype — it is copied into the plan dtype.
+    """
     if weights.kind == "gru":
         return gru_forward(weights, x, lengths=lengths, mask=mask,
                            initial=initial, return_outputs=return_outputs)
@@ -621,7 +639,7 @@ def _train_setup(weights, x, lengths, mask):
     plan = as_plan(weights)
     batch, steps, _ = x.shape
     if x.dtype != plan.dtype:
-        x = x.astype(plan.dtype)
+        x = x.astype(plan.dtype, copy=False)
     gates_x = _plan_input_gates(plan, x)
     counts = _active_counts(lengths, steps)
     if counts is None and lengths is not None and mask is None:
@@ -792,7 +810,12 @@ def lstm_forward_train(weights, x, lengths=None, mask=None, initial=None):
 
 
 def rnn_forward_train(weights, x, lengths=None, mask=None, initial=None):
-    """Dispatch to the GRU or LSTM training forward by ``weights.kind``."""
+    """Dispatch to the GRU or LSTM training forward by ``weights.kind``.
+
+    Same argument contract as :func:`rnn_forward` — ``x`` is ``(B, T,
+    D)``, ``mask`` ``(B, T)`` boolean, ``initial`` ``(B, H)`` (pair for
+    LSTM) — but returns the activation-caching forward used by BPTT.
+    """
     if weights.kind == "gru":
         return gru_forward_train(weights, x, lengths=lengths, mask=mask,
                                  initial=initial)
@@ -956,9 +979,11 @@ def gru_backward(weights, cache, d_last, d_outputs=None):
 def lstm_backward(weights, cache, d_last, d_outputs=None):
     """Hand-derived BPTT through a cached LSTM forward.
 
-    Same contract as :func:`gru_backward`; ``d_last`` is the gradient wrt
-    the final *hidden* state only (the loss never sees the cell), and the
-    result additionally carries ``init_cell``.
+    Same contract as :func:`gru_backward`: ``d_last`` is the ``(B, H)``
+    gradient wrt the final *hidden* state only (the loss never sees the
+    cell), ``d_outputs`` the optional ``(B, T, H)`` per-step gradients;
+    both are cast to the plan dtype.  The result additionally carries
+    ``init_cell``.
     """
     plan = cache.plan if cache.plan is not None else as_plan(weights)
     dt = plan.dtype
@@ -1025,7 +1050,12 @@ def lstm_backward(weights, cache, d_last, d_outputs=None):
 
 
 def rnn_backward(weights, cache, d_last, d_outputs=None):
-    """Dispatch to the GRU or LSTM backward kernel by ``cache.kind``."""
+    """Dispatch to the GRU or LSTM backward kernel by ``cache.kind``.
+
+    ``d_last`` is the ``(B, H)`` gradient wrt the final hidden state,
+    ``d_outputs`` the optional ``(B, T, H)`` per-step state gradients
+    (both accepted in any float dtype, cast to the plan dtype).
+    """
     if cache.kind == "gru":
         return gru_backward(weights, cache, d_last, d_outputs=d_outputs)
     if cache.kind == "lstm":
@@ -1049,6 +1079,8 @@ def _embedding_parts(trx_encoder, batch, tables=None):
     parts = []
     for name in trx_encoder.schema.categorical:
         module = trx_encoder.embeddings[name]
+        # reprolint: disable=RP001 -- categorical ids keep their input
+        # integer dtype; the embedding gather never touches the policy.
         ids = np.asarray(batch.fields[name])
         if ids.min() < 0 or ids.max() >= module.num_embeddings:
             raise IndexError(
@@ -1103,7 +1135,7 @@ def _encode(trx_encoder, batch, prev_times, training, plan=None):
         scaled = (numeric - mean) / np.sqrt(var + norm.eps)
         part = scaled * norm.weight.data + norm.bias.data
         if part.dtype != dtype:
-            part = part.astype(dtype)
+            part = part.astype(dtype, copy=False)
         parts.append(part)
     if not parts:
         raise ValueError("schema has no event fields to encode")

@@ -134,7 +134,8 @@ def advance_entities(runtime, sequences, schema, state_of, put_state,
         initial = runtime.default_state(len(chunk_seqs))
         hidden0 = runtime.hidden_of(initial)
         prev_times = np.array(
-            [float(seq.fields[time_field][0]) for seq in chunk_seqs]
+            [float(seq.fields[time_field][0]) for seq in chunk_seqs],
+            dtype=np.float64,
         )
         for row, seq in enumerate(chunk_seqs):
             state = state_of(seq.seq_id)
@@ -274,7 +275,8 @@ class EmbeddingStore:
     def put_state(self, entity_id, hidden, cell=None, last_time=None):
         """Record an entity's recurrent state (copies the buffers).
 
-        ``last_time`` — the timestamp of the entity's latest folded event
+        ``hidden`` (and ``cell`` for LSTM runtimes) are ``(H,)`` buffers,
+        copied into the store's policy dtype on the way in.  ``last_time`` — the timestamp of the entity's latest folded event
         — is mandatory: without it the boundary time-delta of the next
         incremental update (and the state bundle format) would be
         undefined.
@@ -328,7 +330,8 @@ class EmbeddingStore:
             raise ValueError("update requires at least one new event")
         batch = collate([events], schema)
         prev_time = self.backend.last_time(entity_id)
-        prev_times = None if prev_time is None else np.array([prev_time])
+        prev_times = (None if prev_time is None
+                      else np.array([prev_time], dtype=np.float64))
         state = self.runtime.advance(batch, initial=self._state_rows(entity_id),
                                      prev_times=prev_times)
         self.put_state(
@@ -363,7 +366,8 @@ class EmbeddingStore:
         if entity_ids is None:
             entity_ids = self.known_entities()
         if not len(entity_ids):
-            return np.zeros((0, self.runtime.output_dim))
+            return np.zeros((0, self.runtime.output_dim),
+                            dtype=self.runtime.dtype)
         hidden = np.stack([self._state_row_checked(e) for e in entity_ids])
         return self.runtime.head(hidden)
 

@@ -118,7 +118,9 @@ def _head_softmax_parts(head, embeddings):
 def softmax_head_probabilities(head, embeddings):
     """Class probabilities of a softmax ``Linear`` head, raw numpy.
 
-    The inference half of the fused classification path (what
+    ``embeddings`` is the ``(B, H)`` embedding matrix in any float
+    dtype (promoted to float64: head math is always reference
+    precision).  The inference half of the fused classification path (what
     ``SequenceClassifier.predict_proba`` applies to fused-runtime
     embeddings).  Matches ``F.softmax(head(embeddings))`` on the Tensor
     path to float64 rounding.
@@ -146,9 +148,9 @@ def softmax_head_gradient(head, embeddings, targets):
     ``Tensor.backward`` to float64 rounding.
     """
     embeddings = np.asarray(embeddings, dtype=np.float64)
-    targets = np.asarray(targets)
+    targets = np.asarray(targets)  # reprolint: disable=RP001 -- int labels
     shifted, exp, total = _head_softmax_parts(head, embeddings)
-    rows = np.arange(len(targets))
+    rows = np.arange(len(targets), dtype=np.intp)
     loss = float(np.mean(np.log(total[:, 0]) - shifted[rows, targets]))
     d_logits = exp / total
     d_logits[rows, targets] -= 1.0
@@ -303,10 +305,10 @@ class FusedTrainStep:
                                                    plan=self.encode_plan())
         if not self.is_recurrent:
             return self._forward_transformer(batch, x, bn_scaled)
-        lengths = np.asarray(batch.lengths)
+        lengths = np.asarray(batch.lengths, dtype=np.intp)
         perm = np.argsort(-lengths, kind="stable")
         inverse = np.empty_like(perm)
-        inverse[perm] = np.arange(len(perm))
+        inverse[perm] = np.arange(len(perm), dtype=np.intp)
         rnn_cache = kernels.rnn_forward_train(
             self.weight_plan(), x[perm], lengths=lengths[perm])
         last = rnn_cache.last
@@ -315,6 +317,8 @@ class FusedTrainStep:
         if self.encoder.normalize:
             embeddings = kernels.l2_normalize_rows(hidden)
         else:
+            # reprolint: disable=RP001 -- defensive copy preserves the
+            # kernel's policy dtype by construction.
             embeddings = np.array(hidden, copy=True)
         return FusedForwardCache(batch=batch, rnn_cache=rnn_cache, perm=perm,
                                  inverse=inverse, hidden=hidden,
@@ -324,11 +328,13 @@ class FusedTrainStep:
         """The attention-path forward: no row sort, pooled state as hidden."""
         cache = attention.transformer_forward_train(self.weight_plan(), x,
                                                     mask=batch.mask)
-        identity = np.arange(len(batch.lengths))
+        identity = np.arange(len(batch.lengths), dtype=np.intp)
         hidden = cache.pooled
         if self.encoder.normalize:
             embeddings = kernels.l2_normalize_rows(hidden)
         else:
+            # reprolint: disable=RP001 -- defensive copy preserves the
+            # kernel's policy dtype by construction.
             embeddings = np.array(hidden, copy=True)
         return FusedForwardCache(batch=batch, rnn_cache=cache, perm=identity,
                                  inverse=identity, hidden=hidden,
@@ -446,7 +452,7 @@ def _scatter_add_rows(table, indices, grads):
     vectorised C instead of per-element dispatch (~10x on the training
     hot path).
     """
-    idx = np.asarray(indices).ravel()
+    idx = np.asarray(indices).ravel()  # reprolint: disable=RP001 -- int ids
     if idx.size == 0:
         return
     flat = np.ascontiguousarray(grads).reshape(idx.size, -1)

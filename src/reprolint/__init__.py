@@ -1,0 +1,46 @@
+"""reprolint — AST-based invariant linter for the repro fused runtime.
+
+The fused runtime (``src/repro/runtime``) is fast because it layers
+hand-maintained invariants on top of numpy: the float32/float64
+precision policy (PR 6), packed ``WeightPlan``/``TransformerPlan``
+caches invalidated on ``param.data`` rebinds (PR 6/8), and bit-identical
+``workers=N`` thread fan-out (PR 6).  Nothing in Python enforces those
+invariants — they live in docstrings and reviewers' heads — so this
+package checks them statically:
+
+- **RP001** dtype-less numpy array constructors in policy-scoped code;
+- **RP002** float64-promoting casts / uncopied ``astype`` on hot paths;
+- **RP003** ``param.data`` rebinds or in-place mutation outside the
+  plan-invalidation contract;
+- **RP004** mutation of closed-over state inside thread-pool workers;
+- **RP005** public array-taking functions without a shape/dtype
+  contract in their docstring.
+
+Run it as ``python -m reprolint src/ --baseline .reprolint-baseline.json``.
+The package is pure stdlib (no numpy import) so CI can run it without
+installing the scientific stack.  See ``docs/static-analysis.md`` for
+the rule catalogue and ``[tool.reprolint]`` in ``pyproject.toml`` for
+per-rule scoping.
+"""
+
+from .baseline import Baseline, fingerprint
+from .config import Config, load_config
+from .engine import Finding, LintModule, Rule, lint_paths
+from .reporters import render_json, render_text
+from .rules import all_rules
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Baseline",
+    "Config",
+    "Finding",
+    "LintModule",
+    "Rule",
+    "all_rules",
+    "fingerprint",
+    "lint_paths",
+    "load_config",
+    "render_json",
+    "render_text",
+]

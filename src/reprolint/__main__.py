@@ -1,0 +1,5 @@
+"""``python -m reprolint`` — run the invariant linter."""
+
+from .cli import main
+
+raise SystemExit(main())

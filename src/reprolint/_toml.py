@@ -1,0 +1,131 @@
+"""Minimal TOML reader for ``[tool.reprolint]`` (3.9-compatible).
+
+Python 3.11 ships :mod:`tomllib`; the tier-1 matrix still runs 3.9, so
+:func:`load_toml` falls back to a tiny parser covering exactly the
+subset reprolint's configuration uses — bare tables, string/number/bool
+scalars and (possibly multi-line) arrays of strings.  It is *not* a
+general TOML parser; anything exotic in other pyproject sections is
+skipped rather than misread (unparsable lines are ignored).
+"""
+
+from __future__ import annotations
+
+import re
+
+try:  # Python >= 3.11
+    import tomllib
+except ImportError:  # pragma: no cover - exercised on the 3.9 CI leg
+    tomllib = None
+
+__all__ = ["load_toml"]
+
+_SECTION_RE = re.compile(r"^\[(?P<name>[^\]]+)\]\s*(?:#.*)?$")
+_KEY_RE = re.compile(r'^(?P<key>[A-Za-z0-9_."\'-]+)\s*=\s*(?P<value>.+)$')
+_STRING_RE = re.compile(r'"((?:[^"\\]|\\.)*)"|\'([^\']*)\'')
+
+
+def load_toml(path):
+    """Parse ``path`` into nested dicts (tomllib when available)."""
+    with open(path, "rb") as handle:
+        data = handle.read()
+    if tomllib is not None:
+        return tomllib.loads(data.decode("utf-8"))
+    return _parse(data.decode("utf-8"))
+
+
+def _parse(text):
+    root = {}
+    table = root
+    buffer = None  # (key, accumulated text) for a multi-line array
+    for raw in text.splitlines():
+        line = raw.strip()
+        if buffer is not None:
+            key, acc = buffer
+            acc += " " + line
+            if _balanced(acc):
+                table[key] = _value(acc)
+                buffer = None
+            else:
+                buffer = (key, acc)
+            continue
+        if not line or line.startswith("#"):
+            continue
+        section = _SECTION_RE.match(line)
+        if section:
+            table = _dig(root, section.group("name"))
+            continue
+        pair = _KEY_RE.match(line)
+        if not pair:
+            continue
+        key = pair.group("key").strip().strip('"\'')
+        value = pair.group("value").strip()
+        if value.startswith("[") and not _balanced(value):
+            buffer = (key, value)
+        else:
+            table[key] = _value(value)
+    return root
+
+
+def _dig(root, dotted):
+    table = root
+    for part in _split_dotted(dotted):
+        table = table.setdefault(part, {})
+    return table
+
+
+def _split_dotted(dotted):
+    """Split a table header on dots, honouring quoted segments."""
+    parts = []
+    current = ""
+    quote = None
+    for char in dotted:
+        if quote:
+            if char == quote:
+                quote = None
+            else:
+                current += char
+        elif char in "\"'":
+            quote = char
+        elif char == ".":
+            parts.append(current.strip())
+            current = ""
+        else:
+            current += char
+    parts.append(current.strip())
+    return [p for p in parts if p]
+
+
+def _balanced(text):
+    return text.count("[") <= text.count("]")
+
+
+def _value(text):
+    text = text.split("#", 1)[0].strip() if not text.startswith(
+        ("'", '"', "[")) else text.strip()
+    if text.startswith("["):
+        inner = text.strip()
+        inner = inner[1:inner.rfind("]")]
+        return [_scalar(m.group(1) if m.group(1) is not None else m.group(2))
+                for m in _STRING_RE.finditer(inner)]
+    return _scalar_text(text)
+
+
+def _scalar_text(text):
+    match = _STRING_RE.match(text)
+    if match:
+        return _scalar(match.group(1) if match.group(1) is not None
+                       else match.group(2))
+    lowered = text.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    try:
+        return int(text)
+    except ValueError:
+        try:
+            return float(text)
+        except ValueError:
+            return text
+
+
+def _scalar(text):
+    return text.replace('\\"', '"').replace("\\\\", "\\")

@@ -1,0 +1,123 @@
+"""Committed-baseline support: grandfather findings without fixing them.
+
+The baseline file (``.reprolint-baseline.json``) records known findings
+by a *content* fingerprint — rule id, posix path, the normalised source
+line text and an occurrence index — so unrelated edits that shift line
+numbers do not invalidate it, while editing the offending line itself
+does (the finding then resurfaces as "new").  CI fails on any finding
+not covered by the baseline; ``--write-baseline`` regenerates the file
+from the current run when a batch of findings is deliberately accepted.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+__all__ = ["Baseline", "fingerprint"]
+
+
+def fingerprint(finding, occurrence=0):
+    """Stable content hash of one finding.
+
+    ``occurrence`` disambiguates identical (rule, path, line-text)
+    triples — e.g. two dtype-less ``np.zeros`` on textually identical
+    lines in one file — by their order of appearance.
+    """
+    payload = "|".join((
+        finding.rule,
+        finding.path.replace("\\", "/"),
+        " ".join(finding.line_text.split()),
+        str(occurrence),
+    ))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def _fingerprints(findings):
+    """Fingerprint every finding, numbering duplicate triples."""
+    seen = {}
+    out = []
+    for finding in findings:
+        key = (finding.rule, finding.path, " ".join(finding.line_text.split()))
+        occurrence = seen.get(key, 0)
+        seen[key] = occurrence + 1
+        out.append((finding, fingerprint(finding, occurrence)))
+    return out
+
+
+class Baseline:
+    """The committed set of grandfathered findings."""
+
+    VERSION = 1
+
+    def __init__(self, entries=None, path=None):
+        self.path = path
+        self.entries = list(entries or [])
+
+    @classmethod
+    def load(cls, path):
+        """Read a baseline file (missing file → empty baseline)."""
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except FileNotFoundError:
+            return cls(path=path)
+        if data.get("version") != cls.VERSION:
+            raise ValueError(
+                "unsupported baseline version %r in %s (expected %d)"
+                % (data.get("version"), path, cls.VERSION)
+            )
+        return cls(entries=data.get("findings", []), path=path)
+
+    def split(self, findings):
+        """Partition ``findings`` into ``(new, baselined, stale_entries)``.
+
+        ``stale_entries`` are baseline records whose finding no longer
+        occurs — candidates for deletion so the debt register shrinks
+        monotonically.
+        """
+        remaining = {}
+        for entry in self.entries:
+            key = (entry.get("rule"), entry.get("fingerprint"))
+            remaining[key] = remaining.get(key, 0) + 1
+        new, baselined = [], []
+        for finding, print_ in _fingerprints(findings):
+            key = (finding.rule, print_)
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+                baselined.append(finding)
+            else:
+                new.append(finding)
+        stale = []
+        for entry in self.entries:
+            key = (entry.get("rule"), entry.get("fingerprint"))
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+                stale.append(entry)
+        return new, baselined, stale
+
+    def write(self, findings, path=None):
+        """Serialise ``findings`` as the new baseline at ``path``."""
+        target = path or self.path
+        payload = {
+            "version": self.VERSION,
+            "comment": (
+                "Grandfathered reprolint findings. Entries are matched by "
+                "content fingerprint; fix the code and delete the entry, "
+                "never add entries by hand (use --write-baseline)."
+            ),
+            "findings": [
+                {
+                    "rule": finding.rule,
+                    "path": finding.path.replace("\\", "/"),
+                    "line": finding.line,
+                    "message": finding.message,
+                    "fingerprint": print_,
+                }
+                for finding, print_ in _fingerprints(findings)
+            ],
+        }
+        with open(target, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=False)
+            handle.write("\n")
+        return target

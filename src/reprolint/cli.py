@@ -1,0 +1,130 @@
+"""The ``python -m reprolint`` command-line interface.
+
+Typical runs::
+
+    python -m reprolint src/                          # full battery
+    python -m reprolint src/ --baseline .reprolint-baseline.json
+    python -m reprolint src/ --format json            # machine-readable
+    python -m reprolint --list-rules                  # rule catalogue
+    python -m reprolint src/ --write-baseline         # accept current debt
+
+Exit status: 0 when every finding is baselined or suppressed, 1 when
+new findings exist, 2 on usage errors.  Configuration is read from the
+nearest ``pyproject.toml`` (``[tool.reprolint]``); ``--select`` narrows
+the battery to specific rule ids.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .baseline import Baseline
+from .config import load_config
+from .engine import lint_paths
+from .reporters import render_json, render_text
+from .rules import all_rules
+
+__all__ = ["main", "run"]
+
+
+def _build_parser():
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description="AST-based invariant linter for the repro fused "
+                    "runtime (precision policy, plan invalidation, "
+                    "thread-safety, API contracts).",
+    )
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories to lint (e.g. src/)")
+    parser.add_argument("--baseline", default=None, metavar="FILE",
+                        help="baseline JSON of grandfathered findings "
+                             "(default: [tool.reprolint].baseline)")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="rewrite the baseline file from this run's "
+                             "findings and exit 0")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text", help="report format")
+    parser.add_argument("--select", action="append", default=None,
+                        metavar="RPxxx",
+                        help="run only these rule ids (repeatable)")
+    parser.add_argument("--config", default=None, metavar="PYPROJECT",
+                        help="explicit pyproject.toml "
+                             "(default: nearest ancestor)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore any configured baseline (report "
+                             "every finding)")
+    return parser
+
+
+def run(paths, baseline_path=None, select=None, config_path=None,
+        write_baseline=False, use_baseline=True):
+    """Programmatic entry point; returns the result dict + exit code.
+
+    The result dict feeds both reporters: ``findings`` (new findings
+    only), ``baselined``/``suppressed`` counters, ``stale_baseline``
+    entries and ``files`` scanned.
+    """
+    config = load_config(pyproject=config_path,
+                         start=paths[0] if paths else ".")
+    rules = all_rules(select)
+    findings, suppressed, files = lint_paths(paths, rules, config)
+    baseline_file = ((baseline_path or config.baseline)
+                     if use_baseline else None)
+    stale = []
+    baselined = 0
+    if write_baseline:
+        if not baseline_file:
+            raise SystemExit("--write-baseline needs --baseline or a "
+                             "[tool.reprolint].baseline setting")
+        Baseline(path=baseline_file).write(findings)
+        new = []
+    elif baseline_file:
+        baseline = Baseline.load(baseline_file)
+        new, matched, stale = baseline.split(findings)
+        baselined = len(matched)
+    else:
+        new = findings
+    result = {
+        "findings": new,
+        "baselined": baselined,
+        "suppressed": suppressed,
+        "stale_baseline": stale,
+        "files": files,
+        "baseline_path": baseline_file or "<none>",
+    }
+    return result, (1 if new else 0)
+
+
+def main(argv=None):
+    """CLI entry point; returns the process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        for rule in all_rules():
+            print("%s  %-24s %s" % (rule.id, rule.name, rule.rationale))
+        return 0
+    if not args.paths:
+        parser.print_usage(sys.stderr)
+        print("reprolint: error: no paths given", file=sys.stderr)
+        return 2
+    result, status = run(
+        args.paths,
+        baseline_path=args.baseline,
+        select=args.select,
+        config_path=args.config,
+        write_baseline=args.write_baseline,
+        use_baseline=not args.no_baseline,
+    )
+    if args.write_baseline:
+        print("reprolint: baseline written to %s" % result["baseline_path"])
+        return 0
+    render = render_json if args.format == "json" else render_text
+    print(render(result))
+    return status
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

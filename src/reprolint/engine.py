@@ -1,0 +1,239 @@
+"""Rule engine: findings, the rule base class, suppressions, the runner.
+
+A :class:`Rule` sees one parsed module at a time (a :class:`LintModule`:
+path + source + AST) and yields :class:`Finding` objects.  The runner
+owns everything around that: file discovery, per-rule path scoping
+(``[tool.reprolint.rules.*].scope`` in pyproject), inline
+``# reprolint: disable=RP00x`` suppressions, and the committed-baseline
+filter (:mod:`reprolint.baseline`).
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Finding",
+    "LintModule",
+    "Rule",
+    "lint_paths",
+    "numpy_aliases",
+]
+
+#: ``# reprolint: disable=RP001`` or ``disable=RP001,RP004 -- reason``.
+_SUPPRESS_RE = re.compile(
+    r"#\s*reprolint:\s*disable(?P<file>-file)?\s*=\s*"
+    r"(?P<rules>[A-Za-z0-9_*]+(?:\s*,\s*[A-Za-z0-9_*]+)*)"
+)
+
+
+@dataclass
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    severity: str = "error"
+    line_text: str = ""
+
+    def location(self):
+        """``path:line:col`` — the clickable prefix of the text report."""
+        return "%s:%d:%d" % (self.path, self.line, self.col)
+
+    def to_json(self):
+        """The finding as a plain dict (the JSON reporter's schema)."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "severity": self.severity,
+            "message": self.message,
+        }
+
+
+@dataclass
+class LintModule:
+    """One parsed source file handed to every applicable rule."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    lines: list = field(default_factory=list)
+
+    @classmethod
+    def parse(cls, path, source):
+        """Parse ``source``; raises ``SyntaxError`` on unparsable files."""
+        tree = ast.parse(source, filename=path)
+        return cls(path=path, source=source, tree=tree,
+                   lines=source.splitlines())
+
+    def line_at(self, lineno):
+        """The 1-indexed source line (empty string out of range)."""
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+
+class Rule:
+    """Base class for reprolint rules.
+
+    Subclasses set ``id`` (``"RP001"``), ``name`` (short slug),
+    ``rationale`` (one line shown by ``--list-rules``) and implement
+    :meth:`check`.  ``default_scope`` holds the path fragments the rule
+    applies to when pyproject does not override them; an empty scope
+    means "every linted file".
+    """
+
+    id = "RP000"
+    name = "base"
+    rationale = ""
+    severity = "error"
+    default_scope = ()
+
+    def check(self, module, options):
+        """Yield :class:`Finding` objects for one module.
+
+        ``options`` is the merged per-rule option dict (defaults
+        overlaid with ``[tool.reprolint.rules.<id>]``).
+        """
+        raise NotImplementedError
+
+    def finding(self, module, node, message, severity=None):
+        """Build a :class:`Finding` anchored at an AST node."""
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0) + 1
+        return Finding(rule=self.id, path=module.path, line=line, col=col,
+                       message=message, severity=severity or self.severity,
+                       line_text=module.line_at(line))
+
+
+def numpy_aliases(tree):
+    """Names the module binds to the numpy package (``{"np", ...}``)."""
+    aliases = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for item in node.names:
+                if item.name == "numpy" or item.name.startswith("numpy."):
+                    aliases.add((item.asname or item.name).split(".")[0])
+    return aliases
+
+
+def is_numpy_call(node, aliases, names):
+    """Whether ``node`` is ``np.<name>(...)`` for one of ``names``."""
+    return (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in names
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id in aliases)
+
+
+def parse_suppressions(lines):
+    """Inline suppressions: ``(per_line, whole_file)``.
+
+    ``per_line`` maps a 1-indexed line number to the set of rule ids
+    disabled there.  A comment on its own line also suppresses the next
+    non-blank, non-comment line, so long multi-line calls can carry the
+    marker above them.  ``disable-file=`` entries suppress the whole
+    module.  ``*`` disables every rule.
+    """
+    per_line = {}
+    whole_file = set()
+    pending = None
+    for index, raw in enumerate(lines, start=1):
+        stripped = raw.strip()
+        match = _SUPPRESS_RE.search(raw)
+        if match:
+            rules = {r.strip() for r in match.group("rules").split(",")}
+            if match.group("file"):
+                whole_file |= rules
+            else:
+                per_line.setdefault(index, set()).update(rules)
+                if stripped.startswith("#"):
+                    pending = rules  # standalone: also covers the next stmt
+                    continue
+        if not stripped or stripped.startswith("#"):
+            continue
+        if pending:
+            per_line.setdefault(index, set()).update(pending)
+            pending = None
+    return per_line, whole_file
+
+
+def is_suppressed(finding, per_line, whole_file):
+    """Whether an inline marker disables this finding."""
+    rules = whole_file | per_line.get(finding.line, set())
+    return finding.rule in rules or "*" in rules
+
+
+def _iter_python_files(paths, excludes):
+    """Every ``.py`` file under ``paths``, pruning excluded fragments."""
+    for root in paths:
+        if os.path.isfile(root):
+            yield root
+            continue
+        for dirpath, dirnames, filenames in os.walk(root):
+            dirnames[:] = sorted(
+                d for d in dirnames
+                if not _excluded(os.path.join(dirpath, d), excludes)
+            )
+            for name in sorted(filenames):
+                full = os.path.join(dirpath, name)
+                if name.endswith(".py") and not _excluded(full, excludes):
+                    yield full
+
+
+def _excluded(path, excludes):
+    posix = path.replace(os.sep, "/")
+    return any(fragment in posix for fragment in excludes)
+
+
+def _in_scope(path, scope):
+    posix = path.replace(os.sep, "/")
+    return not scope or any(fragment in posix for fragment in scope)
+
+
+def lint_paths(paths, rules, config):
+    """Run ``rules`` over every Python file under ``paths``.
+
+    Returns ``(findings, suppressed_count, file_count)``.  Findings are
+    sorted by path, line, rule.  Unparsable files surface as a single
+    ``PARSE`` finding instead of aborting the run.
+    """
+    findings = []
+    suppressed = 0
+    file_count = 0
+    for path in _iter_python_files(paths, config.exclude):
+        file_count += 1
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+            module = LintModule.parse(path, source)
+        except (SyntaxError, UnicodeDecodeError) as error:
+            findings.append(Finding(
+                rule="PARSE", path=path,
+                line=getattr(error, "lineno", 1) or 1, col=1,
+                message="file does not parse: %s" % error,
+            ))
+            continue
+        per_line, whole_file = parse_suppressions(module.lines)
+        for rule in rules:
+            options = config.rule_options(rule)
+            if not options.get("enabled", True):
+                continue
+            scope = options.get("scope", list(rule.default_scope))
+            if not _in_scope(path, scope):
+                continue
+            for finding in rule.check(module, options):
+                if is_suppressed(finding, per_line, whole_file):
+                    suppressed += 1
+                else:
+                    findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings, suppressed, file_count

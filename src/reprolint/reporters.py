@@ -1,0 +1,67 @@
+"""Text and JSON reporters for lint results."""
+
+from __future__ import annotations
+
+import json
+
+__all__ = ["render_text", "render_json", "JSON_SCHEMA_VERSION"]
+
+#: Bumped whenever the JSON layout changes incompatibly.
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(result):
+    """Human-readable report: one ``path:line:col: RPxxx message`` per finding.
+
+    ``result`` is the dict built by :func:`reprolint.cli.run` — findings
+    plus the summary counters.
+    """
+    lines = []
+    for finding in result["findings"]:
+        lines.append("%s: %s [%s] %s"
+                     % (finding.location(), finding.severity, finding.rule,
+                        finding.message))
+        if finding.line_text.strip():
+            lines.append("    %s" % finding.line_text.strip())
+    for entry in result["stale_baseline"]:
+        lines.append(
+            "stale baseline entry: %s %s (fingerprint %s) no longer occurs "
+            "— delete it from %s"
+            % (entry.get("rule"), entry.get("path"),
+               entry.get("fingerprint"), result["baseline_path"])
+        )
+    lines.append(
+        "reprolint: %d file(s), %d finding(s)"
+        " (%d baselined, %d suppressed inline)"
+        % (result["files"], len(result["findings"]),
+           result["baselined"], result["suppressed"])
+    )
+    return "\n".join(lines)
+
+
+def render_json(result):
+    """Machine-readable report (schema ``JSON_SCHEMA_VERSION``).
+
+    Layout::
+
+        {"version": 1, "tool": "reprolint",
+         "summary": {"files": n, "findings": n, "baselined": n,
+                     "suppressed": n, "stale_baseline": n},
+         "findings": [{"rule", "path", "line", "col",
+                       "severity", "message"}, ...],
+         "stale_baseline": [<baseline entries>, ...]}
+    """
+    payload = {
+        "version": JSON_SCHEMA_VERSION,
+        "tool": "reprolint",
+        "summary": {
+            "files": result["files"],
+            "findings": len(result["findings"]),
+            "baselined": result["baselined"],
+            "suppressed": result["suppressed"],
+            "stale_baseline": len(result["stale_baseline"]),
+        },
+        "findings": [finding.to_json() for finding in result["findings"]],
+        "stale_baseline": list(result["stale_baseline"]),
+    }
+    return json.dumps(payload, indent=2)

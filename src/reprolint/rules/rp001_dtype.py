@@ -1,0 +1,58 @@
+"""RP001 — dtype-less numpy array constructors in policy-scoped code.
+
+The precision policy (PR 6) makes float32 the serving default, but
+``np.zeros``/``np.empty``/… default to float64: a dtype-less allocation
+in the runtime/serving/nn packages silently re-promotes a hot path (or
+a stored state) to float64 and doubles its footprint — exactly the bug
+class of the dtype-less ``np.zeros((0, output_dim))`` empty-result
+allocations this rule first surfaced.  Constructors that *preserve*
+their input's dtype (``zeros_like`` etc.) are exempt; where inference
+is the intent (integer id arrays, dtype-preserving copies), suppress
+with a reason.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..engine import Rule, is_numpy_call, numpy_aliases
+
+__all__ = ["DtypeLessConstructorRule"]
+
+#: Constructors whose default result dtype is float64 (or input-derived
+#: in a way the reader cannot see at the call site).  Layout-only ops
+#: (``ascontiguousarray``) and ``*_like`` constructors are exempt: they
+#: always preserve their input's dtype.
+CONSTRUCTORS = ("zeros", "empty", "ones", "full", "array", "arange",
+                "asarray")
+
+
+class DtypeLessConstructorRule(Rule):
+    """Flag ``np.<constructor>(...)`` calls without a ``dtype=`` keyword."""
+
+    id = "RP001"
+    name = "dtype-less-constructor"
+    rationale = ("numpy constructors default to float64; policy-scoped "
+                 "allocations must name their dtype (PR 6 precision policy)")
+    default_scope = ("src/repro/runtime/", "src/repro/serving/",
+                     "src/repro/nn/")
+    default_options = {"constructors": list(CONSTRUCTORS)}
+
+    def check(self, module, options):
+        """Yield one finding per dtype-less constructor call."""
+        constructors = set(options.get("constructors", CONSTRUCTORS))
+        aliases = numpy_aliases(module.tree)
+        if not aliases:
+            return
+        for node in ast.walk(module.tree):
+            if not is_numpy_call(node, aliases, constructors):
+                continue
+            if any(keyword.arg == "dtype" for keyword in node.keywords):
+                continue
+            yield self.finding(
+                module, node,
+                "np.%s() without dtype= allocates float64 under the "
+                "float32 serving policy; pass the policy dtype (e.g. "
+                "runtime.dtype / plan.dtype) or an explicit intended "
+                "dtype, or suppress with a reason" % node.func.attr,
+            )

@@ -1,0 +1,198 @@
+"""RP004 — shared-state mutation inside thread-pool worker functions.
+
+The ``workers=N`` fan-out (PR 6) is bit-identical to serial execution
+*by construction*: the fan-out sites (``run_dataset``, ``bulk_load``,
+``update_many``, shard flushes) stage all reads before the pool, run
+pure-compute workers concurrently, and scatter every write afterwards
+in plan order on the calling thread.  That 3-phase contract only holds
+while the worker functions stay pure — this rule finds functions
+dispatched through a ``ThreadPoolExecutor`` (``pool.map``/``submit``)
+that write to closed-over or module-level state: ``nonlocal``/``global``
+assignment, subscript or attribute stores on free variables, or
+mutating method calls (``append``/``add``/…) on them.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..engine import Rule
+
+__all__ = ["ThreadFanoutMutationRule"]
+
+#: Container methods that mutate their receiver.
+MUTATING_METHODS = ("append", "extend", "add", "update", "insert", "pop",
+                    "popitem", "remove", "discard", "clear", "setdefault",
+                    "write", "put", "fill", "sort")
+
+_EXECUTOR_NAMES = ("ThreadPoolExecutor", "ProcessPoolExecutor")
+_DISPATCH_METHODS = ("map", "submit")
+
+
+class ThreadFanoutMutationRule(Rule):
+    """Flag impure workers handed to ``ThreadPoolExecutor`` fan-out."""
+
+    id = "RP004"
+    name = "thread-fanout-mutation"
+    rationale = ("workers=N fan-out is bit-identical to serial only while "
+                 "pool workers are pure compute; writes belong on the "
+                 "calling thread (PR 6 3-phase advance contract)")
+    default_scope = ("src/repro/runtime/", "src/repro/serving/")
+    default_options = {"mutating_methods": list(MUTATING_METHODS)}
+
+    def check(self, module, options):
+        """Yield findings for every mutation inside a pool worker."""
+        mutators = set(options.get("mutating_methods", MUTATING_METHODS))
+        pools = _executor_names(module.tree)
+        if not pools:
+            return
+        definitions = _function_definitions(module.tree)
+        seen = set()
+        for call in ast.walk(module.tree):
+            if not _is_dispatch(call, pools):
+                continue
+            worker = call.args[0] if call.args else None
+            if isinstance(worker, ast.Lambda):
+                yield from self._check_worker(module, worker,
+                                              "<lambda>", mutators)
+            elif isinstance(worker, ast.Name):
+                for definition in definitions.get(worker.id, []):
+                    if definition in seen:
+                        continue
+                    seen.add(definition)
+                    yield from self._check_worker(module, definition,
+                                                  definition.name, mutators)
+
+    # ------------------------------------------------------------------
+    def _check_worker(self, module, worker, name, mutators):
+        bound = _bound_names(worker)
+        for node, what in _shared_writes(worker, bound, mutators):
+            yield self.finding(
+                module, node,
+                "worker %r is dispatched through ThreadPoolExecutor "
+                "fan-out but %s; stage writes on the calling thread "
+                "(3-phase contract: serial gather, parallel pure "
+                "compute, serial scatter in plan order)" % (name, what),
+            )
+
+
+def _executor_names(tree):
+    """Local names bound to executor classes (via import or alias)."""
+    names = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom):
+            if node.module and node.module.startswith("concurrent"):
+                for item in node.names:
+                    if item.name in _EXECUTOR_NAMES:
+                        names.add(item.asname or item.name)
+        elif isinstance(node, ast.Import):
+            for item in node.names:
+                if item.name.startswith("concurrent"):
+                    names.add((item.asname or item.name).split(".")[0])
+    return names
+
+
+def _is_dispatch(node, pools):
+    """``pool.map(fn, ...)`` / ``pool.submit(fn, ...)`` heuristic.
+
+    Any ``<name>.map``/``.submit`` call counts when the module imports
+    an executor class — pool variables are rarely annotated, so the
+    rule keys on the dispatch method rather than tracking the binding.
+    ``<str>.map`` false positives are avoided by requiring the first
+    argument to be a function-ish node (Name or Lambda).
+    """
+    return (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _DISPATCH_METHODS
+            and node.args
+            and isinstance(node.args[0], (ast.Name, ast.Lambda)))
+
+
+def _function_definitions(tree):
+    """All function definitions in the module, by bare name."""
+    table = {}
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            table.setdefault(node.name, []).append(node)
+    return table
+
+
+def _bound_names(worker):
+    """Names bound locally inside the worker (params + assignments)."""
+    bound = set()
+    if isinstance(worker, ast.Lambda):
+        args = worker.args
+    else:
+        args = worker.args
+    for arg in (list(args.posonlyargs) + list(args.args)
+                + list(args.kwonlyargs)):
+        bound.add(arg.arg)
+    if args.vararg:
+        bound.add(args.vararg.arg)
+    if args.kwarg:
+        bound.add(args.kwarg.arg)
+    if isinstance(worker, ast.Lambda):
+        return bound
+    declared_free = set()
+    for node in ast.walk(worker):
+        if isinstance(node, (ast.Global, ast.Nonlocal)):
+            declared_free.update(node.names)
+        elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+            bound.add(node.id)
+        elif isinstance(node, (ast.For, ast.comprehension)):
+            target = node.target
+            for name in ast.walk(target):
+                if isinstance(name, ast.Name):
+                    bound.add(name.id)
+        elif isinstance(node, ast.withitem) and node.optional_vars:
+            for name in ast.walk(node.optional_vars):
+                if isinstance(name, ast.Name):
+                    bound.add(name.id)
+    return bound - declared_free
+
+
+def _root_name(node):
+    """The base ``Name`` of an attribute/subscript chain (or None)."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    return node.id if isinstance(node, ast.Name) else None
+
+
+def _shared_writes(worker, bound, mutators):
+    """Yield ``(node, description)`` for writes escaping the worker."""
+    declared_free = set()
+    body = worker.body if isinstance(worker.body, list) else [worker.body]
+    for node in ast.walk(worker):
+        if isinstance(node, (ast.Global, ast.Nonlocal)):
+            declared_free.update(node.names)
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = (node.targets if isinstance(node, ast.Assign)
+                           else [node.target])
+                for target in targets:
+                    yield from _target_writes(node, target, bound,
+                                              declared_free)
+            elif isinstance(node, ast.Call):
+                if (isinstance(node.func, ast.Attribute)
+                        and node.func.attr in mutators):
+                    root = _root_name(node.func.value)
+                    if root is not None and root not in bound:
+                        yield node, ("calls mutating method .%s() on "
+                                     "closed-over %r"
+                                     % (node.func.attr, root))
+
+
+def _target_writes(stmt, target, bound, declared_free):
+    if isinstance(target, ast.Name):
+        if target.id in declared_free:
+            yield stmt, ("assigns nonlocal/global name %r" % target.id)
+    elif isinstance(target, (ast.Subscript, ast.Attribute)):
+        root = _root_name(target)
+        if root is not None and root not in bound:
+            kind = ("subscript" if isinstance(target, ast.Subscript)
+                    else "attribute")
+            yield stmt, ("writes %s of closed-over %r" % (kind, root))
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from _target_writes(stmt, element, bound, declared_free)

@@ -1,0 +1,113 @@
+"""RP005 — public array-taking APIs must document a shape/dtype contract.
+
+The runtime/serving boundary passes raw numpy buffers around
+(``hidden``, ``cell``, ``d_states``, pooling masks, …); the only thing
+that says which axis is batch and which dtype the buffer must carry is
+the docstring.  The docs CI job (ruff D1) already requires *a*
+docstring on every public runtime/serving function — this rule requires
+the docstring of any public function with array-named parameters to
+actually state the contract: a shape tuple (``(B, T, H)``), or the
+words ``shape``/``dtype``/``array``.  The parameter-name list is
+configuration (``array_params``), so new buffer names can be added as
+the API grows.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from ..engine import Rule
+
+__all__ = ["ArrayContractRule"]
+
+#: Parameter names that carry raw numpy buffers across the API boundary.
+ARRAY_PARAMS = ("hidden", "cell", "embedding", "embeddings", "states",
+                "mask", "initial", "prev_times", "d_embeddings",
+                "d_states", "d_events", "d_outputs", "d_last", "block",
+                "weights", "arrays", "lengths")
+
+#: A documented contract: a shape tuple like ``(B, T, H)`` / ``(N, d)``,
+#: an explicit mention of shape/dtype/array/buffer semantics, or a
+#: concrete dtype literal (``float32``/``int8``/…).
+_CONTRACT_RE = re.compile(
+    r"\(\s*[A-Za-z0-9_*]+\s*(?:,\s*[A-Za-z0-9_*.]+\s*)+\)"
+    r"|\bshapes?\b|\bdtypes?\b|\barrays?\b|\bndarrays?\b|\bbuffers?\b"
+    r"|\b(?:float|int|uint)(?:4|8|16|32|64)\b",
+    re.IGNORECASE,
+)
+
+
+class ArrayContractRule(Rule):
+    """Flag public array-taking functions whose docstring has no contract."""
+
+    id = "RP005"
+    name = "array-contract"
+    rationale = ("raw-numpy APIs are only usable (and only stay "
+                 "precision-policy-correct) when the docstring pins the "
+                 "expected shape/dtype of every buffer argument")
+    default_scope = ("src/repro/runtime/", "src/repro/serving/")
+    default_options = {"array_params": list(ARRAY_PARAMS)}
+
+    def check(self, module, options):
+        """Yield findings for undocumented buffer parameters."""
+        array_params = set(options.get("array_params", ARRAY_PARAMS))
+        for node, qualname, is_public in _walk_functions(module.tree):
+            if not is_public:
+                continue
+            params = _parameters(node)
+            buffers = sorted(p for p in params if p in array_params)
+            if not buffers:
+                continue
+            docstring = ast.get_docstring(node) or ""
+            if not docstring:
+                yield self.finding(
+                    module, node,
+                    "public %s() takes buffer parameter(s) %s but has no "
+                    "docstring to carry their shape/dtype contract"
+                    % (qualname, ", ".join(buffers)),
+                )
+            elif not _CONTRACT_RE.search(docstring):
+                yield self.finding(
+                    module, node,
+                    "public %s() takes buffer parameter(s) %s but its "
+                    "docstring states no shape/dtype contract (expected a "
+                    "shape tuple like (B, T, H) or the words shape/dtype/"
+                    "array)" % (qualname, ", ".join(buffers)),
+                )
+
+
+def _walk_functions(tree):
+    """Yield ``(node, qualname, is_public)`` for every function def.
+
+    A function is public when neither its own name nor any enclosing
+    class/function name starts with an underscore (dunders are not
+    public here — their contract is the protocol's).
+    """
+    def visit(node, prefix, public_prefix):
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                name = child.name
+                is_public = (public_prefix and not name.startswith("_"))
+                qualname = prefix + name
+                yield child, qualname, is_public
+                yield from visit(child, qualname + ".", False)
+            elif isinstance(child, ast.ClassDef):
+                class_public = (public_prefix
+                                and not child.name.startswith("_"))
+                yield from visit(child, prefix + child.name + ".",
+                                 class_public)
+            else:
+                yield from visit(child, prefix, public_prefix)
+
+    yield from visit(tree, "", True)
+
+
+def _parameters(node):
+    """Positional/keyword parameter names, minus self/cls."""
+    args = node.args
+    names = [arg.arg for arg in (list(args.posonlyargs) + list(args.args)
+                                 + list(args.kwonlyargs))]
+    if names and names[0] in ("self", "cls"):
+        names = names[1:]
+    return names

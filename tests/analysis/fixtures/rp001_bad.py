@@ -1,0 +1,13 @@
+"""RP001 fixture: dtype-less numpy constructors (both flagged)."""
+
+import numpy as np
+
+
+def empty_matrix(dim):
+    """The empty-result allocation bug class: silently float64."""
+    return np.zeros((0, dim))
+
+
+def gather(values):
+    """Dtype-less asarray on a value buffer."""
+    return np.asarray(values)

@@ -1,0 +1,18 @@
+"""RP001 fixture: explicit or input-preserving dtypes (clean)."""
+
+import numpy as np
+
+
+def empty_matrix(dim, dtype):
+    """Empty result in the caller's policy dtype."""
+    return np.zeros((0, dim), dtype=dtype)
+
+
+def row_index(count):
+    """Index arrays name their integer dtype."""
+    return np.arange(count, dtype=np.intp)
+
+
+def like(buffer):
+    """``*_like`` constructors preserve the input dtype and are exempt."""
+    return np.zeros_like(buffer)

@@ -1,0 +1,15 @@
+"""RP002 fixture: the three promotion patterns (all flagged)."""
+
+import numpy as np
+
+
+def promote(x):
+    """Explicit float64 cast plus a numpy-scalar constant."""
+    scale = np.log(10000.0)
+    doubled = x.astype(np.float64)
+    return doubled * scale
+
+
+def recopy(x, dtype):
+    """``astype`` without ``copy=False`` always allocates."""
+    return x.astype(dtype)

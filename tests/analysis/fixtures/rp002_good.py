@@ -1,0 +1,17 @@
+"""RP002 fixture: policy-dtype compute (clean)."""
+
+import numpy as np
+
+#: Hoisted constant: the ufunc sees a name, not a literal.
+LOG_BASE = 10000.0
+
+
+def scaled(x, plan_dtype):
+    """Constants are cast to the plan dtype before entering the kernel."""
+    scale = np.asarray(np.log(LOG_BASE), dtype=plan_dtype)
+    return x * scale
+
+
+def cast(x, dtype):
+    """Casts on hot paths skip the copy when the dtype already matches."""
+    return x.astype(dtype, copy=False)

@@ -1,0 +1,11 @@
+"""RP003 fixture: stale-plan ``.data`` writes (both flagged)."""
+
+
+def apply_update(param, fresh):
+    """Rebind outside the optimizer/serialization contract."""
+    param.data = fresh
+
+
+def overwrite(param, values):
+    """In-place mutation: buffer identity never changes."""
+    param.data[:] = values

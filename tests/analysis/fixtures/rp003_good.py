@@ -1,0 +1,29 @@
+"""RP003 fixture: contract-respecting ``.data`` rebinds (clean)."""
+
+
+def step(param, fresh):
+    """Optimizer entry point: rebinds are the invalidation mechanism."""
+    param.data = fresh
+
+
+def load_state_dict(model, state):
+    """Serialization entry point: plans revalidate on next use."""
+    for name, value in state.items():
+        model.params[name].data = value
+
+
+def refresh(runtime, param, fresh):
+    """Direct revalidation: the rebind is followed by a plan rebuild."""
+    param.data = fresh
+    runtime.weight_plan()
+
+
+def rebuild(runtime):
+    """Helper that revalidates the cached plan."""
+    runtime.weight_plan()
+
+
+def swap(runtime, param, fresh):
+    """Transitive revalidation through the module call graph."""
+    param.data = fresh
+    rebuild(runtime)

@@ -1,0 +1,16 @@
+"""RP004 fixture: pool worker writing closed-over state (flagged)."""
+
+from concurrent.futures import ThreadPoolExecutor
+
+RESULTS = {}
+
+
+def run_all(chunks, compute):
+    """Dispatches an impure worker: the scatter races across threads."""
+
+    def worker(chunk):
+        RESULTS[chunk[0]] = compute(chunk)
+        return chunk
+
+    with ThreadPoolExecutor() as pool:
+        return list(pool.map(worker, chunks))

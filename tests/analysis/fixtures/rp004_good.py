@@ -1,0 +1,17 @@
+"""RP004 fixture: the 3-phase fan-out contract (clean)."""
+
+from concurrent.futures import ThreadPoolExecutor
+
+
+def run_all(chunks, compute):
+    """Parallel pure compute; every write happens on the calling thread."""
+
+    def worker(chunk):
+        values = compute(chunk)
+        return chunk, values
+
+    results = {}
+    with ThreadPoolExecutor() as pool:
+        for chunk, values in pool.map(worker, chunks):
+            results[chunk[0]] = values
+    return results

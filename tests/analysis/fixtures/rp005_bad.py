@@ -1,0 +1,10 @@
+"""RP005 fixture: buffer-taking APIs without a contract (both flagged)."""
+
+
+def advance(states, hidden):
+    """Fold new events into the carried state."""
+    return states, hidden
+
+
+def pool(mask):
+    return mask

@@ -1,0 +1,10 @@
+"""RP005 fixture: documented buffer contracts (clean)."""
+
+
+def advance(states, hidden):
+    """Fold events into the ``(B, H)`` float32 buffers ``states``/``hidden``."""
+    return states, hidden
+
+
+def _pool(mask):
+    return mask

@@ -1,0 +1,26 @@
+"""Suppression fixture: same-line, standalone-line, whole-file markers.
+
+Expected under RP001+RP005 with unrestricted scope: exactly one finding
+(the dtype-less ``np.asarray(mask)`` in ``leak``) and three suppressed.
+"""
+
+import numpy as np
+
+# reprolint: disable-file=RP005
+
+
+def ids(values):
+    """Integer ids: suppressed on the offending line itself."""
+    return np.asarray(values)  # reprolint: disable=RP001 -- int ids
+
+
+def table(rows):
+    """Multi-line call: the standalone marker above covers it."""
+    # reprolint: disable=RP001 -- fixture: marker covers the next statement
+    return np.zeros(
+        (rows, 4)
+    )
+
+
+def leak(mask):
+    return np.asarray(mask)

@@ -24,7 +24,7 @@ from repro.data.synthetic import make_churn_dataset
 from repro.encoders import build_encoder
 from repro.nn import GRU, LSTM
 from repro.runtime import EmbeddingStore, FusedEncoderRuntime, kernels
-from repro.serving import EmbeddingService
+from repro.serving import EmbeddingService, ShardedEmbeddingStore
 
 #: The property-tested bound on float32-vs-float64 embedding drift.
 #: Observed drift is ~1e-7 on unit-normalised embeddings; the bound
@@ -287,3 +287,31 @@ def test_float32_forward_emits_no_runtime_warning(kind):
     last = last[0] if kind == "lstm" else last
     assert np.isfinite(last).all()
     assert last.dtype == np.float32
+
+
+# ----------------------------------------------------------------------
+# empty-result allocations honour the policy dtype (reprolint RP001)
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("precision", ["float32", "float64"])
+def test_empty_store_embeddings_carry_policy_dtype(dataset, precision):
+    """Regression for the dtype-less ``np.zeros((0, d))`` empty-result
+    allocation reprolint RP001 surfaced: the empty matrix must carry the
+    store's policy dtype, not numpy's float64 default."""
+    store = EmbeddingStore(_encoder(dataset, "gru"), precision=precision)
+    empty = store.embeddings()
+    assert empty.shape == (0, store.runtime.output_dim)
+    assert empty.dtype == store.runtime.dtype
+    # selecting zero entities after a bulk_load hits the same allocation
+    store.bulk_load(dataset)
+    assert store.embeddings([]).dtype == store.runtime.dtype
+    assert store.embeddings().dtype == store.runtime.dtype
+
+
+def test_empty_sharded_store_embeddings_carry_policy_dtype(dataset):
+    store = ShardedEmbeddingStore(_encoder(dataset, "gru"), num_shards=3)
+    empty = store.embeddings()
+    assert empty.shape == (0, store.runtime.output_dim)
+    assert empty.dtype == store.runtime.dtype == np.dtype(np.float32)
+    store.bulk_load(dataset)
+    assert store.embeddings([]).dtype == store.runtime.dtype
