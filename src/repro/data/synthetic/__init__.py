@@ -30,6 +30,8 @@ from .public import (
     make_retail_dataset,
     make_scoring_dataset,
 )
+from .stress import (STRESS_SCHEMA, make_stress_history,
+                     make_stress_stream)
 from .texts import TEXTS_SCHEMA, make_texts_dataset
 from .transactions import generate_class_dataset
 
@@ -51,6 +53,9 @@ __all__ = [
     "with_label_channel",
     "holding_pairs",
     "make_texts_dataset",
+    "make_stress_history",
+    "make_stress_stream",
+    "STRESS_SCHEMA",
     "AGE_SCHEMA",
     "CHURN_SCHEMA",
     "ASSESSMENT_SCHEMA",

@@ -38,14 +38,15 @@ from .backends import (DictStateBackend, Float16Codec, IdentityCodec,
                        MemmapStateBackend, QuantizedCodec, StateBackend,
                        StateCodec, resolve_backend, resolve_codec)
 from .engine import FusedEncoderRuntime
-from .store import EmbeddingStore, advance_entities, bulk_load_states
+from .store import (AdvanceResult, EmbeddingStore, advance_entities,
+                    bulk_load_states)
 from .training import (FusedForwardCache, FusedTrainStep, loss_gradient,
                        resolve_engine, softmax_head_gradient,
                        softmax_head_probabilities)
 
 __all__ = ["kernels", "attention", "TransformerPlan",
            "build_transformer_plan", "transformer_plan_matches",
-           "FusedEncoderRuntime", "EmbeddingStore",
+           "FusedEncoderRuntime", "EmbeddingStore", "AdvanceResult",
            "advance_entities", "bulk_load_states", "FusedTrainStep",
            "FusedForwardCache", "loss_gradient", "softmax_head_gradient",
            "softmax_head_probabilities", "resolve_engine",

@@ -44,6 +44,7 @@ from __future__ import annotations
 import json
 import os
 import shutil
+import threading
 from collections import OrderedDict
 
 import numpy as np
@@ -453,6 +454,9 @@ class StateBackend:
     def flush(self):
         """Make pending writes durable (no-op for in-RAM backends)."""
 
+    def close(self):
+        """Release background resources (no-op for most backends)."""
+
     def snapshot(self, directory):
         """Write the full state bundle to ``directory``."""
         directory = str(directory)
@@ -614,23 +618,56 @@ class MemmapStateBackend(StateBackend):
 
     Resident state memory is bounded by ``cache_shards * shard_capacity``
     rows; everything else pages through the memmaps shard-by-shard.
+
+    ``writeback="sync"`` (the default) encodes + writes a dirty shard on
+    the evicting thread — the historical behaviour, where the ingest
+    path pays for quantization and disk I/O inline.
+    ``writeback="async"`` hands evicted dirty shards to one background
+    writer thread instead: the ingest path only snapshots the shard's
+    row metadata and enqueues, and :meth:`flush` remains the durability
+    barrier (it waits for the writer to finish every queued eviction —
+    re-raising any deferred write error — before writing the manifest).
+    A queued-but-unwritten shard that is read again is reclaimed from
+    the queue without touching disk, so reads never observe stale
+    files.  Both modes store bit-identical bytes; async only moves
+    *when* they are written.
     """
 
-    def __init__(self, directory, shard_capacity=1024, cache_shards=4):
+    def __init__(self, directory, shard_capacity=1024, cache_shards=4,
+                 writeback="sync"):
         super().__init__()
         if shard_capacity < 1:
             raise ValueError("shard_capacity must be >= 1")
         if cache_shards < 1:
             raise ValueError("cache_shards must be >= 1")
+        if writeback not in ("sync", "async"):
+            raise ValueError("writeback must be 'sync' or 'async' (got %r)"
+                             % (writeback,))
         self.directory = str(directory)
         self.shard_capacity = int(shard_capacity)
         self.cache_shards = int(cache_shards)
+        self.writeback = writeback
         self._index = {}        # entity id -> (shard, row)
         self._last = {}         # entity id -> float timestamp
         self._shard_ids = []    # shard -> [entity ids in row order]
         self._hot = OrderedDict()  # shard -> _HotShard (LRU order)
         self.evictions = 0
         self.shard_loads = 0
+        self.async_writebacks = 0
+        # Background write-back machinery (writeback="async" only): one
+        # condition guards the job queue, the in-flight marker and the
+        # deferred-error list; the writer is a plain daemon thread.
+        self._wb_cond = threading.Condition()
+        self._wb_jobs = OrderedDict()  # shard -> (hot, ids, last_times)
+        self._wb_inflight = None       # shard currently being written
+        self._wb_errors = []
+        self._wb_closed = False
+        self._writer = None
+        if writeback == "async":
+            self._writer = threading.Thread(target=self._writeback_loop,
+                                            name="repro-memmap-writeback",
+                                            daemon=True)
+            self._writer.start()
 
     # -- lifecycle ------------------------------------------------------
     def attach(self, dim, kind, dtype, codec):
@@ -689,14 +726,96 @@ class MemmapStateBackend(StateBackend):
         while len(self._hot) > self.cache_shards:
             old_shard, old_hot = self._hot.popitem(last=False)
             if old_hot.dirty:
-                self._write_shard(old_shard, old_hot)
+                if self._writer is None:
+                    self._write_shard(old_shard, old_hot)
+                else:
+                    self._enqueue_writeback(old_shard, old_hot)
             self.evictions += 1
+
+    def _enqueue_writeback(self, shard, hot):
+        """Queue an evicted dirty shard for the background writer.
+
+        The shard's entity-id row map and last-event times are
+        snapshotted *now*: the calling (ingest) thread keeps mutating
+        ``_shard_ids``/``_last`` after this returns.  The state buffers
+        themselves transfer safely — an evicted ``hot`` is no longer
+        reachable from the LRU, so nothing mutates it until a reclaim
+        pulls it back under the same condition lock.
+        """
+        ids = list(self._shard_ids[shard])
+        last_times = np.asarray([self._last[e] for e in ids],
+                                dtype=np.float64)
+        with self._wb_cond:
+            # A re-eviction of the same shard supersedes its queued job.
+            self._wb_jobs[shard] = (hot, ids, last_times)
+            self._wb_cond.notify_all()
+
+    def _writeback_loop(self):
+        """Writer thread: encode + persist queued shards, FIFO order."""
+        while True:
+            with self._wb_cond:
+                while not self._wb_jobs and not self._wb_closed:
+                    self._wb_cond.wait()
+                if not self._wb_jobs:
+                    return  # closed and drained
+                shard, (hot, ids, last_times) = self._wb_jobs.popitem(
+                    last=False)
+                self._wb_inflight = shard
+            try:
+                write_state_shard(
+                    self.directory, shard, ids, hot.hidden[:len(ids)],
+                    hot.cell[:len(ids)] if self.is_lstm else None,
+                    last_times, self.codec,
+                )
+                hot.dirty = False
+                with self._wb_cond:
+                    self.async_writebacks += 1
+            except Exception as error:  # deferred, surfaced at flush()
+                with self._wb_cond:
+                    self._wb_errors.append(error)
+            finally:
+                with self._wb_cond:
+                    self._wb_inflight = None
+                    self._wb_cond.notify_all()
+
+    def _reclaim_writeback(self, shard):
+        """Pull a queued (unwritten) eviction back as the hot buffer.
+
+        Returns the shard's still-dirty buffer if its write-back had not
+        started, else ``None`` — after waiting out an in-flight write of
+        this very shard, so the subsequent disk read sees the complete,
+        current file.
+        """
+        if self._writer is None:
+            return None
+        with self._wb_cond:
+            job = self._wb_jobs.pop(shard, None)
+            if job is not None:
+                return job[0]  # still dirty; never handed to the writer
+            while self._wb_inflight == shard:
+                self._wb_cond.wait()
+        return None
+
+    def _drain_writebacks(self):
+        """Wait until the writer queue is empty; re-raise deferred errors."""
+        if self._writer is None:
+            return
+        with self._wb_cond:
+            while self._wb_jobs or self._wb_inflight is not None:
+                self._wb_cond.wait()
+            errors, self._wb_errors = self._wb_errors, []
+        if errors:
+            raise errors[0]
 
     def _load_shard(self, shard):
         """The hot buffer of ``shard``, promoting it from disk if cold."""
         hot = self._hot.get(shard)
         if hot is not None:
             self._hot.move_to_end(shard)
+            return hot
+        hot = self._reclaim_writeback(shard)
+        if hot is not None:
+            self._admit(shard, hot)
             return hot
         hot = self._new_hot(dirty=False)
         meta_path = _shard_files(self.directory, shard)[2]
@@ -795,6 +914,13 @@ class MemmapStateBackend(StateBackend):
 
     def clear(self):
         """Forget all live state (stale files are overwritten lazily)."""
+        if self._writer is not None:
+            with self._wb_cond:
+                # Queued write-backs describe state being dropped.
+                self._wb_jobs.clear()
+                while self._wb_inflight is not None:
+                    self._wb_cond.wait()
+                self._wb_errors = []
         self._index = {}
         self._last = {}
         self._shard_ids = []
@@ -808,13 +934,40 @@ class MemmapStateBackend(StateBackend):
 
     # -- durability ---------------------------------------------------------
     def flush(self):
-        """Write back every dirty hot shard + the bundle manifest."""
+        """Write back every dirty shard + the bundle manifest.
+
+        With ``writeback="async"`` this is the durability barrier: it
+        first waits for the background writer to finish every queued
+        eviction (re-raising the oldest deferred write error, if any),
+        then writes the remaining dirty hot shards and the manifest on
+        the calling thread.
+        """
+        self._drain_writebacks()
         for shard, hot in self._hot.items():
             if hot.dirty:
                 self._write_shard(shard, hot)
         write_state_manifest(self.directory, self.kind, self.dim, self.codec,
                              len(self._shard_ids), len(self),
                              shard_capacity=self.shard_capacity)
+
+    def close(self):
+        """Stop the background writer; idempotent.
+
+        Queued evictions are still written before the thread exits
+        (nothing is discarded) and deferred write errors are re-raised.
+        The backend stays usable afterwards — write-back just degrades
+        to synchronous.
+        """
+        if self._writer is None:
+            return
+        with self._wb_cond:
+            self._wb_closed = True
+            self._wb_cond.notify_all()
+        self._writer.join()
+        self._writer = None
+        errors, self._wb_errors = self._wb_errors, []
+        if errors:
+            raise errors[0]
 
     def snapshot(self, directory):
         """Flush, then copy the encoded shard files verbatim.
@@ -856,6 +1009,8 @@ class MemmapStateBackend(StateBackend):
     def stats(self):
         """Shard/LRU telemetry on top of the base entity count."""
         stats = super().stats()
+        with self._wb_cond:
+            queued = len(self._wb_jobs) + (self._wb_inflight is not None)
         stats.update({
             "shards": len(self._shard_ids),
             "hot_shards": len(self._hot),
@@ -863,6 +1018,9 @@ class MemmapStateBackend(StateBackend):
             "cache_shards": self.cache_shards,
             "evictions": self.evictions,
             "shard_loads": self.shard_loads,
+            "writeback": self.writeback,
+            "queued_writebacks": queued,
+            "async_writebacks": self.async_writebacks,
         })
         return stats
 

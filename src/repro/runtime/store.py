@@ -31,6 +31,7 @@ from __future__ import annotations
 import os
 import warnings
 from concurrent.futures import ThreadPoolExecutor
+from typing import NamedTuple
 
 import numpy as np
 
@@ -40,7 +41,24 @@ from ..nn.serialization import load_arrays
 from .backends import resolve_backend
 from .engine import FusedEncoderRuntime
 
-__all__ = ["EmbeddingStore", "advance_entities", "bulk_load_states"]
+__all__ = ["EmbeddingStore", "AdvanceResult", "advance_entities",
+           "bulk_load_states"]
+
+
+class AdvanceResult(NamedTuple):
+    """What one :func:`advance_entities` call produced.
+
+    ``embeddings`` is the refreshed ``(N, d)`` matrix in input order (the
+    runtime's policy dtype); ``batches`` is the number of fused kernel
+    batches the length-bucketed plan actually ran.  Serving telemetry
+    (``flush_batches``) counts this value straight from the plan instead
+    of re-deriving ``ceil(N / batch_size)`` on the side — the two stay
+    equal only as long as the planner never drops, merges or re-windows
+    batches, which is the planner's decision to make, not the caller's.
+    """
+
+    embeddings: np.ndarray
+    batches: int
 
 
 def bulk_load_states(runtime, dataset, put_state, batch_size=64,
@@ -109,7 +127,9 @@ def advance_entities(runtime, sequences, schema, state_of, put_state,
     workers:
         Concurrent fused batches (None: the runtime's ``workers``).
 
-    Returns the refreshed ``(N, d)`` embeddings in ``sequences`` order.
+    Returns an :class:`AdvanceResult`: the refreshed ``(N, d)``
+    embeddings in ``sequences`` order, plus the number of fused batches
+    the plan ran.
     """
     ids = [seq.seq_id for seq in sequences]
     if len(set(ids)) != len(ids):
@@ -171,7 +191,7 @@ def advance_entities(runtime, sequences, schema, state_of, put_state,
                       last[1][row] if runtime.is_lstm else None,
                       float(seq.fields[time_field][-1]))
         embeddings[chunk] = runtime.head(hidden)
-    return embeddings
+    return AdvanceResult(embeddings, len(tasks))
 
 
 class EmbeddingStore:
@@ -348,11 +368,13 @@ class EmbeddingStore:
         one chunk per entity, a length-bucketed plan groups them, and each
         planned batch advances through one fused kernel call.  Returns the
         refreshed ``(N, d)`` embeddings in input order, identical to
-        looping :meth:`update` (< 1e-10).
+        looping :meth:`update` (< 1e-10).  Callers that need the fused
+        batch count call :func:`advance_entities` directly.
         """
         return advance_entities(self.runtime, sequences, schema,
                                 self.state_of, self.put_state,
-                                batch_size=batch_size, workers=workers)
+                                batch_size=batch_size,
+                                workers=workers).embeddings
 
     def embedding(self, entity_id):
         """Current embedding of one entity, ``(d,)``."""
@@ -383,6 +405,10 @@ class EmbeddingStore:
     def flush(self):
         """Make pending backend writes durable (memmap write-back)."""
         self.backend.flush()
+
+    def close(self):
+        """Release backend background resources (async write-back)."""
+        self.backend.close()
 
     def save(self, path):
         """Write the store's state bundle to directory ``path``.

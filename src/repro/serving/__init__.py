@@ -19,19 +19,31 @@ package turns it into a *service* shaped like the paper's production ETL
 - :class:`EmbeddingService` — the facade (``ingest`` / ``flush`` /
   ``query`` / ``save`` / ``load``) plus replayable event logs
   (:func:`build_event_log`, :func:`replay_event_log`) used by the
-  deployment example and the equivalence tests.
+  deployment example and the equivalence tests;
+- :class:`AsyncIngestPipeline` — a bounded pending queue + background
+  flusher thread in front of the service (``max_pending_events``
+  backpressure: block or reject with :class:`BackpressureError`); a
+  drained pipeline is bit-identical to synchronous ingest;
+- :class:`LatencyRecorder` — per-operation p50/p95/p99 latency
+  telemetry, exposed as ``stats()["latency_ms"]`` and CI-gated at
+  million-entity scale via ``BENCH_serving.json``.
 """
 
 from .cache import EmbeddingCache
 from .microbatch import MicroBatcher, coalesce_chunks
+from .pipeline import AsyncIngestPipeline, BackpressureError
 from .replay import build_event_log, replay_event_log
 from .service import EmbeddingService
 from .sharding import ShardedEmbeddingStore, route_entity
+from .telemetry import LatencyRecorder
 
 __all__ = [
     "EmbeddingCache",
     "MicroBatcher",
     "coalesce_chunks",
+    "AsyncIngestPipeline",
+    "BackpressureError",
+    "LatencyRecorder",
     "build_event_log",
     "replay_event_log",
     "EmbeddingService",

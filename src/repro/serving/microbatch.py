@@ -24,16 +24,32 @@ def coalesce_chunks(chunks):
     Chunk boundaries must be time-ordered (a later chunk may not start
     before the previous one ended) — the same append-only contract the
     incremental store relies on.
+
+    The merged label is the latest **non-None** label among the chunks
+    (a label arriving mid-stream annotates the whole entity, it is not
+    dropped just because the first buffered chunk predates it).  Two
+    *different* non-None labels are a hard conflict — there is no
+    defensible winner for a single entity — and raise ``ValueError``.
     """
     if len(chunks) == 1:
         return chunks[0]
     first = chunks[0]
+    label = None
+    for chunk in chunks:
+        if chunk.label is None:
+            continue
+        if label is not None and chunk.label != label:
+            raise ValueError(
+                "conflicting labels for entity %r in one buffer: %r vs %r"
+                % (first.seq_id, label, chunk.label)
+            )
+        label = chunk.label
     return EventSequence(
         seq_id=first.seq_id,
         fields={name: np.concatenate([chunk.fields[name]
                                       for chunk in chunks])
                 for name in first.fields},
-        label=first.label,
+        label=label,
     )
 
 

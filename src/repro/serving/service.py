@@ -6,9 +6,10 @@ serving stack:
 - **ingest(events)** buffers per-entity event chunks in a
   :class:`~repro.serving.MicroBatcher`, auto-flushing once enough events
   accumulate;
-- **flush()** drains the buffer through the sharded store's micro-batched
-  ``update_many`` (length-bucketed fused batches) and invalidates the
-  affected cache entries;
+- **flush()** drains the buffer through
+  :func:`~repro.runtime.advance_entities` (length-bucketed fused
+  batches over the sharded store's state) and invalidates the affected
+  cache entries;
 - **query(entity_ids)** serves embeddings through an LRU
   :class:`~repro.serving.EmbeddingCache`, flushing first whenever a
   requested entity has buffered events so a read is never stale;
@@ -20,6 +21,14 @@ Where state lives is a construction knob: ``backend="memmap"`` (with
 and ``codec="int8"``/``"uint4"``/``"float16"`` compresses them at rest —
 see :mod:`repro.runtime.backends`.
 
+The service is **thread-safe**: one reentrant lock serialises every
+state mutation (buffer, store, cache, counters), which is what lets the
+:class:`~repro.serving.AsyncIngestPipeline` apply chunks from its
+background flusher thread while producers keep submitting and readers
+keep querying.  Every operation records its wall-clock latency into a
+:class:`~repro.serving.LatencyRecorder` (ops ``ingest`` / ``flush`` /
+``query``), surfaced as the ``latency_ms`` subtree of :meth:`stats`.
+
 Embeddings served this way match a cold
 :meth:`~repro.runtime.FusedEncoderRuntime.embed_dataset` recompute of the
 full history to < 1e-10 — asserted by ``tests/serving/``.
@@ -27,14 +36,17 @@ full history to < 1e-10 — asserted by ``tests/serving/``.
 
 from __future__ import annotations
 
+import threading
 import warnings
 
 import numpy as np
 
 from ..data.sequences import EventSequence
+from ..runtime.store import advance_entities
 from .cache import EmbeddingCache
 from .microbatch import MicroBatcher
 from .sharding import ShardedEmbeddingStore
+from .telemetry import LatencyRecorder
 
 __all__ = ["EmbeddingService"]
 
@@ -91,6 +103,12 @@ class EmbeddingService:
         self.batcher = MicroBatcher(flush_events=flush_events,
                                     time_field=schema.time_field,
                                     last_time_of=self.store.last_time)
+        self.latency = LatencyRecorder()
+        # One coarse reentrant lock serialises every state mutation
+        # (batcher, store, cache, counters).  Correctness first: the
+        # fused kernels release the GIL inside BLAS, so a background
+        # flusher's compute still overlaps producers' python work.
+        self._lock = threading.RLock()
         self.events_ingested = 0
         self.chunks_ingested = 0
         self.flushes = 0
@@ -102,10 +120,11 @@ class EmbeddingService:
     # ------------------------------------------------------------------
     def bulk_load(self, dataset, batch_size=None):
         """Warm the store from a whole history dataset (day-0 ETL)."""
-        embeddings = self.store.bulk_load(
-            dataset, batch_size=batch_size or self.batch_size
-        )
-        self.cache.invalidate([seq.seq_id for seq in dataset])
+        with self._lock:
+            embeddings = self.store.bulk_load(
+                dataset, batch_size=batch_size or self.batch_size
+            )
+            self.cache.invalidate([seq.seq_id for seq in dataset])
         return embeddings
 
     def ingest(self, events):
@@ -117,17 +136,32 @@ class EmbeddingService:
         chunks = [events] if isinstance(events, EventSequence) else events
         accepted = 0
         for chunk in chunks:
-            self.batcher.add(chunk)
             # Counters advance per accepted chunk so a rejected chunk
             # mid-iterable leaves telemetry consistent with the buffer;
             # the threshold check runs per chunk too, keeping the buffer
             # bounded even when one call ingests a whole stream.
+            with self.latency.time("ingest"):
+                accepted += self._apply_chunk(chunk)
+        return accepted
+
+    def _apply_chunk(self, chunk):
+        """Buffer one chunk, auto-flushing past the threshold.
+
+        The single write entry point shared by synchronous
+        :meth:`ingest` and the
+        :class:`~repro.serving.AsyncIngestPipeline` flusher thread —
+        both replay the exact same ``batcher.add`` / threshold-flush
+        sequence, which is what makes a drained async ingest
+        bit-identical to the synchronous path.  Returns the chunk's
+        event count.
+        """
+        with self._lock:
+            self.batcher.add(chunk)
             self.chunks_ingested += 1
             self.events_ingested += len(chunk)
-            accepted += len(chunk)
             if self.batcher.should_flush:
-                self.flush()
-        return accepted
+                self._flush_locked()
+        return len(chunk)
 
     def flush(self, entity_ids=None):
         """Apply buffered updates as fused micro-batches.
@@ -137,15 +171,25 @@ class EmbeddingService:
         ids whose embeddings changed.  Their cache entries are
         invalidated, so the next query recomputes from the fresh state.
         """
+        with self._lock:
+            return self._flush_locked(entity_ids)
+
+    def _flush_locked(self, entity_ids=None):
+        """The flush body; the caller must hold (or be under) the lock."""
         pending = self.batcher.drain(entity_ids)
         if not pending:
             return []
-        self.store.update_many(pending, self.schema,
-                               batch_size=self.batch_size)
-        updated = [seq.seq_id for seq in pending]
-        self.cache.invalidate(updated)
-        self.flushes += 1
-        self.flush_batches += -(-len(pending) // self.batch_size)
+        with self.latency.time("flush"):
+            result = advance_entities(self.store.runtime, pending,
+                                      self.schema, self.store.state_of,
+                                      self.store.put_state,
+                                      batch_size=self.batch_size)
+            updated = [seq.seq_id for seq in pending]
+            self.cache.invalidate(updated)
+            self.flushes += 1
+            # The real fused batch count, straight from the bucketed
+            # plan — not re-derived as ceil(pending / batch_size) here.
+            self.flush_batches += result.batches
         return updated
 
     # ------------------------------------------------------------------
@@ -158,30 +202,34 @@ class EmbeddingService:
         first (only the requested entities' chunks — the rest of the
         buffer keeps accumulating toward full micro-batches); remaining
         lookups go through the LRU cache, and misses are computed from
-        the sharded store in one batch.
+        the sharded store in one batch.  ``entity_ids`` may repeat — each
+        occurrence gets its own output row.
         """
         entity_ids = list(entity_ids)
-        self.queries += len(entity_ids)
-        stale = [entity_id for entity_id in entity_ids
-                 if self.batcher.has_pending(entity_id)]
-        if stale:
-            self.flush(stale)
-        out = np.zeros((len(entity_ids), self.store.runtime.output_dim),
-                       dtype=self.store.runtime.dtype)
-        missing_rows, missing_ids = [], []
-        for row, entity_id in enumerate(entity_ids):
-            cached = self.cache.get(entity_id)
-            if cached is None:
-                missing_rows.append(row)
-                missing_ids.append(entity_id)
-            else:
-                out[row] = cached
-        if missing_ids:
-            fresh = self.store.embeddings(missing_ids)
-            for row, entity_id, embedding in zip(missing_rows, missing_ids,
-                                                 fresh):
-                out[row] = embedding
-                self.cache.put(entity_id, embedding)
+        with self.latency.time("query"):
+            with self._lock:
+                self.queries += len(entity_ids)
+                stale = [entity_id for entity_id in entity_ids
+                         if self.batcher.has_pending(entity_id)]
+                if stale:
+                    self._flush_locked(stale)
+                out = np.zeros(
+                    (len(entity_ids), self.store.runtime.output_dim),
+                    dtype=self.store.runtime.dtype)
+                missing_rows, missing_ids = [], []
+                for row, entity_id in enumerate(entity_ids):
+                    cached = self.cache.get(entity_id)
+                    if cached is None:
+                        missing_rows.append(row)
+                        missing_ids.append(entity_id)
+                    else:
+                        out[row] = cached
+                if missing_ids:
+                    fresh = self.store.embeddings(missing_ids)
+                    for row, entity_id, embedding in zip(missing_rows,
+                                                         missing_ids, fresh):
+                        out[row] = embedding
+                        self.cache.put(entity_id, embedding)
         return out
 
     def query_one(self, entity_id):
@@ -190,18 +238,22 @@ class EmbeddingService:
 
     def known_entities(self):
         """All entity ids with applied (flushed) state, globally sorted."""
-        return self.store.known_entities()
+        with self._lock:
+            return self.store.known_entities()
 
     def __contains__(self, entity_id):
-        return entity_id in self.store or self.batcher.has_pending(entity_id)
+        with self._lock:
+            return (entity_id in self.store
+                    or self.batcher.has_pending(entity_id))
 
     # ------------------------------------------------------------------
     # persistence
     # ------------------------------------------------------------------
     def save(self, directory):
         """Flush pending updates, then write the sharded state bundle."""
-        self.flush()
-        self.store.save(directory)
+        with self._lock:
+            self._flush_locked()
+            self.store.save(directory)
 
     def load(self, directory):
         """Replace all serving state with a saved bundle; returns self.
@@ -210,13 +262,14 @@ class EmbeddingService:
         service) first, restoring under pending events would silently
         apply them to state that is about to be replaced.
         """
-        if self.batcher.pending_events:
-            raise RuntimeError(
-                "cannot restore with %d buffered events pending: call "
-                "flush() first" % self.batcher.pending_events
-            )
-        self.store.load(directory)
-        self.cache.clear()
+        with self._lock:
+            if self.batcher.pending_events:
+                raise RuntimeError(
+                    "cannot restore with %d buffered events pending: call "
+                    "flush() first" % self.batcher.pending_events
+                )
+            self.store.load(directory)
+            self.cache.clear()
         return self
 
     def snapshot(self, directory):
@@ -233,16 +286,24 @@ class EmbeddingService:
 
     # ------------------------------------------------------------------
     def stats(self):
-        """Serving telemetry: counters, cache behaviour, shard balance."""
-        return {
-            "entities": len(self.store),
-            "events_ingested": self.events_ingested,
-            "chunks_ingested": self.chunks_ingested,
-            "pending_events": self.batcher.pending_events,
-            "flushes": self.flushes,
-            "flush_batches": self.flush_batches,
-            "queries": self.queries,
-            "cache": self.cache.stats(),
-            "shard_sizes": self.store.shard_sizes(),
-            "bytes_per_entity": self.store.bytes_per_entity(),
-        }
+        """Serving telemetry: counters, latency, cache, shard balance.
+
+        ``latency_ms`` holds per-operation percentile summaries
+        (``{op: {count, mean, p50, p95, p99, max}}`` — milliseconds) for
+        ``ingest`` / ``flush`` / ``query``, from the service's
+        :class:`~repro.serving.LatencyRecorder`.
+        """
+        with self._lock:
+            return {
+                "entities": len(self.store),
+                "events_ingested": self.events_ingested,
+                "chunks_ingested": self.chunks_ingested,
+                "pending_events": self.batcher.pending_events,
+                "flushes": self.flushes,
+                "flush_batches": self.flush_batches,
+                "queries": self.queries,
+                "latency_ms": self.latency.summary(),
+                "cache": self.cache.stats(),
+                "shard_sizes": self.store.shard_sizes(),
+                "bytes_per_entity": self.store.bytes_per_entity(),
+            }

@@ -250,11 +250,15 @@ class ShardedEmbeddingStore:
         """Micro-batched advance across shards.
 
         Entities from different shards share fused batches (the plan is
-        global); only the state reads/writes route per shard.
+        global); only the state reads/writes route per shard.  Returns
+        the refreshed ``(N, d)`` embeddings in input order; callers that
+        need the fused batch count call
+        :func:`~repro.runtime.advance_entities` directly.
         """
         return advance_entities(self.runtime, sequences, schema,
                                 self.state_of, self.put_state,
-                                batch_size=batch_size, workers=workers)
+                                batch_size=batch_size,
+                                workers=workers).embeddings
 
     # ------------------------------------------------------------------
     # persistence: one state bundle per shard + a JSON manifest
@@ -269,6 +273,11 @@ class ShardedEmbeddingStore:
         """Make every shard backend's pending writes durable."""
         for shard in self.shards:
             shard.flush()
+
+    def close(self):
+        """Release every shard backend's background resources."""
+        for shard in self.shards:
+            shard.close()
 
     def save(self, directory):
         """Write every shard's state bundle under ``directory``.

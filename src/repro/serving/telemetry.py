@@ -1,0 +1,112 @@
+"""Lightweight latency percentiles for the serving read/write path.
+
+Production feature stores state their SLOs in *tail* latency — the p99
+of a query issued while ingest pressure is high — not in mean
+throughput.  :class:`LatencyRecorder` is the measurement side of that
+contract: every service operation (``ingest`` / ``flush`` / ``query``)
+wraps itself in :meth:`LatencyRecorder.time`, and
+:meth:`EmbeddingService.stats` exposes the reduced percentiles as its
+``latency_ms`` subtree — the same numbers the million-entity stress
+benchmark records into ``BENCH_serving.json`` and CI gates
+(``latency_ms.query.p99=lower``).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+
+import numpy as np
+
+__all__ = ["LatencyRecorder"]
+
+
+class LatencyRecorder:
+    """Thread-safe per-operation latency samples with percentile summaries.
+
+    Each named operation keeps its most recent ``capacity`` wall-clock
+    samples in a fixed-size float64 ring buffer — recording is O(1),
+    allocation-free after the first sample, and cheap enough
+    (microseconds) to sit on the hot serving path.  Lifetime sample
+    count and total are kept alongside, so :meth:`summary` reports an
+    exact ``count``/``mean`` while the percentiles describe the retained
+    window.  All methods are safe to call from any thread (one internal
+    lock; no sample is ever torn or lost).
+    """
+
+    #: Percentiles reported by :meth:`summary` (as ``p50``/``p95``/``p99``).
+    PERCENTILES = (50, 95, 99)
+
+    def __init__(self, capacity=65536):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = int(capacity)
+        self._lock = threading.Lock()
+        self._rings = {}    # op -> (capacity,) float64 seconds ring
+        self._counts = {}   # op -> lifetime sample count
+        self._totals = {}   # op -> lifetime seconds
+
+    def record(self, op, seconds):
+        """Add one sample: ``seconds`` (a float scalar) spent in ``op``."""
+        seconds = float(seconds)
+        with self._lock:
+            ring = self._rings.get(op)
+            if ring is None:
+                ring = self._rings[op] = np.zeros(self.capacity,
+                                                  dtype=np.float64)
+                self._counts[op] = 0
+                self._totals[op] = 0.0
+            ring[self._counts[op] % self.capacity] = seconds
+            self._counts[op] += 1
+            self._totals[op] += seconds
+
+    @contextmanager
+    def time(self, op):
+        """Record the wall-clock duration of the ``with`` body as ``op``.
+
+        The sample is recorded even when the body raises — a failed call
+        still occupied the operation's latency budget.
+        """
+        start = time.perf_counter()
+        try:
+            yield self
+        finally:
+            self.record(op, time.perf_counter() - start)
+
+    def operations(self):
+        """Sorted names of every operation with at least one sample."""
+        with self._lock:
+            return sorted(self._rings)
+
+    def summary(self):
+        """Millisecond statistics per operation.
+
+        Returns ``{op: {"count", "mean", "p50", "p95", "p99", "max"}}``
+        — floats in milliseconds, except ``count`` (lifetime sample
+        count).  ``mean`` is exact over the lifetime; the percentiles
+        and ``max`` cover the retained window of up to ``capacity`` most
+        recent samples.
+        """
+        with self._lock:
+            out = {}
+            for op, ring in self._rings.items():
+                count = self._counts[op]
+                window = ring[:min(count, self.capacity)]
+                quantiles = np.percentile(window, self.PERCENTILES)
+                stats = {
+                    "count": int(count),
+                    "mean": float(self._totals[op] / count) * 1e3,
+                    "max": float(window.max()) * 1e3,
+                }
+                for tag, value in zip(self.PERCENTILES, quantiles):
+                    stats["p%d" % tag] = float(value) * 1e3
+                out[op] = stats
+            return out
+
+    def reset(self):
+        """Drop every sample and counter (e.g. after a warm-up phase)."""
+        with self._lock:
+            self._rings = {}
+            self._counts = {}
+            self._totals = {}

@@ -418,3 +418,160 @@ class TestStoreOverBackends:
         # so they drift from the live (still hot, unquantized) states by
         # at most the codec bound.
         np.testing.assert_allclose(clone.query(ids), served, atol=0.05)
+
+
+# ----------------------------------------------------------------------
+# memmap backend: background (async) write-back of evicted shards
+# ----------------------------------------------------------------------
+class TestAsyncWriteback:
+    def _pair(self, tmp_path, entities=60, shard_capacity=8, cache_shards=2,
+              codec="identity", dim=6, seed=0):
+        """A sync and an async backend fed the identical put stream."""
+        sync = MemmapStateBackend(tmp_path / "sync",
+                                  shard_capacity=shard_capacity,
+                                  cache_shards=cache_shards)
+        kw = dict(shard_capacity=shard_capacity, cache_shards=cache_shards,
+                  writeback="async")
+        async_ = MemmapStateBackend(tmp_path / "async", **kw)
+        sync.attach(dim, "gru", np.float64, codec)
+        async_.attach(dim, "gru", np.float64, codec)
+        rng = np.random.default_rng(seed)
+        states = {}
+        for entity_id in range(entities):
+            hidden = rng.normal(size=dim)
+            states[entity_id] = hidden
+            sync.put(entity_id, hidden.copy(), None, float(entity_id))
+            async_.put(entity_id, hidden.copy(), None, float(entity_id))
+        return sync, async_, states
+
+    def test_writeback_knob_validation(self, tmp_path):
+        with pytest.raises(ValueError, match="writeback"):
+            MemmapStateBackend(tmp_path / "state", writeback="eager")
+
+    def test_async_matches_sync_bit_identical(self, tmp_path):
+        """Same puts, same evictions — async read-back is bit-identical
+        to the sync backend with the identity codec."""
+        sync, async_, states = self._pair(tmp_path)
+        assert async_.evictions > 0
+        try:
+            for entity_id, hidden in states.items():
+                got_sync = sync.get(entity_id)
+                got_async = async_.get(entity_id)
+                np.testing.assert_array_equal(got_async[0], got_sync[0])
+                np.testing.assert_array_equal(got_async[0], hidden)
+                assert got_async[2] == got_sync[2] == float(entity_id)
+        finally:
+            async_.close()
+
+    def test_flush_is_durability_barrier(self, tmp_path):
+        """flush() drains the writer; a fresh backend on the directory
+        then sees every entity exactly."""
+        _, async_, states = self._pair(tmp_path)
+        async_.flush()
+        async_.close()
+        reopened = MemmapStateBackend(tmp_path / "async", shard_capacity=8,
+                                      cache_shards=2)
+        reopened.attach(6, "gru", np.float64, "identity")
+        assert len(reopened) == len(states)
+        for entity_id, hidden in states.items():
+            np.testing.assert_array_equal(reopened.get(entity_id)[0], hidden)
+
+    def test_reclaim_of_queued_shard_is_fresh(self, tmp_path):
+        """A shard read back while its write-back is still queued (or in
+        flight) returns current state — gated writer version."""
+        import threading
+
+        gate = threading.Event()
+
+        class Gated(MemmapStateBackend):
+            def _writeback_loop(inner):
+                gate.wait()
+                MemmapStateBackend._writeback_loop(inner)
+
+        backend = Gated(tmp_path / "state", shard_capacity=4,
+                        cache_shards=1, writeback="async")
+        backend.attach(3, "gru", np.float64, "identity")
+        rng = np.random.default_rng(1)
+        states = {}
+        # 16 entities over capacity-4 shards with a 1-shard LRU: every
+        # new shard evicts the previous; the writer is parked on `gate`,
+        # so evictions pile up in the queue.
+        for entity_id in range(16):
+            hidden = rng.normal(size=3)
+            states[entity_id] = hidden
+            backend.put(entity_id, hidden.copy(), None, float(entity_id))
+        assert backend.stats()["queued_writebacks"] > 0
+        try:
+            # Reads of queued-but-unwritten shards must reclaim the hot
+            # buffer (nothing is on disk yet for them).
+            for entity_id, hidden in states.items():
+                np.testing.assert_array_equal(backend.get(entity_id)[0],
+                                              hidden)
+        finally:
+            gate.set()
+            backend.close()
+        # After close, everything queued was still written (no loss).
+        backend.flush()
+        reopened = MemmapStateBackend(tmp_path / "state", shard_capacity=4,
+                                      cache_shards=1)
+        reopened.attach(3, "gru", np.float64, "identity")
+        for entity_id, hidden in states.items():
+            np.testing.assert_array_equal(reopened.get(entity_id)[0], hidden)
+
+    def test_close_is_idempotent_and_degrades_to_sync(self, tmp_path):
+        _, async_, _ = self._pair(tmp_path, entities=20)
+        async_.close()
+        async_.close()
+        assert async_._writer is None
+        # Still usable: further evictions just write synchronously.
+        rng = np.random.default_rng(7)
+        hidden = rng.normal(size=6)
+        async_.put(999, hidden.copy(), None, 999.0)
+        np.testing.assert_array_equal(async_.get(999)[0], hidden)
+
+    def test_clear_discards_queued_writebacks(self, tmp_path):
+        _, async_, _ = self._pair(tmp_path, entities=40)
+        try:
+            async_.clear()
+            assert len(async_) == 0
+            assert async_.stats()["queued_writebacks"] == 0
+        finally:
+            async_.close()
+
+    def test_stats_report_writeback_telemetry(self, tmp_path):
+        sync, async_, _ = self._pair(tmp_path)
+        try:
+            assert sync.stats()["writeback"] == "sync"
+            assert sync.stats()["async_writebacks"] == 0
+            stats = async_.stats()
+            assert stats["writeback"] == "async"
+            assert stats["queued_writebacks"] >= 0
+            async_.flush()
+            drained = async_.stats()
+            assert drained["queued_writebacks"] == 0
+            # every eviction was queued, and flush() drains the queue
+            assert drained["async_writebacks"] > 0
+        finally:
+            async_.close()
+
+    @pytest.mark.parametrize("cell", ["gru", "lstm"])
+    def test_store_over_async_backend_matches_dict(self, dataset, cell,
+                                                   tmp_path):
+        """End-to-end: an EmbeddingStore over the async memmap backend
+        matches the dict backend at 1e-10 with the identity codec."""
+        encoder = _encoder(dataset, cell)
+        backend = MemmapStateBackend(tmp_path / "state", shard_capacity=4,
+                                     cache_shards=2, writeback="async")
+        store = EmbeddingStore(encoder, precision="float64", backend=backend)
+        reference = EmbeddingStore(encoder, precision="float64",
+                                   backend=DictStateBackend())
+        store.update_many(list(dataset), dataset.schema, batch_size=5)
+        reference.update_many(list(dataset), dataset.schema, batch_size=5)
+        assert backend.evictions > 0
+        try:
+            for seq in dataset:
+                np.testing.assert_allclose(store.embedding(seq.seq_id),
+                                           reference.embedding(seq.seq_id),
+                                           rtol=0, atol=1e-10)
+        finally:
+            store.close()

@@ -11,6 +11,8 @@ import numpy as np
 import pytest
 
 from repro.core.inference import embed_dataset, serve
+from repro.data.bucketing import plan_batches
+from repro.data.sequences import EventSequence
 from repro.data.synthetic import make_churn_dataset
 from repro.encoders import build_encoder
 from repro.serving import (
@@ -260,3 +262,85 @@ class TestServicePersistence:
     def test_serve_requires_schema_or_dataset(self, dataset):
         with pytest.raises(ValueError):
             serve(_encoder(dataset, "gru"))
+
+
+def _with_label(chunk, label):
+    return EventSequence(seq_id=chunk.seq_id, fields=dict(chunk.fields),
+                         label=label)
+
+
+class TestTelemetryAndSafetyRegressions:
+    """Serving telemetry/safety fixes: flush_batches counted from the
+    real fused plan, read-only cache entries, coalesced labels, and
+    duplicate query ids."""
+
+    def test_flush_batches_counts_the_real_fused_plan(self, dataset):
+        """``flush_batches`` must equal the bucketed plan's batch count
+        for exactly the drained chunks — full and partial flushes."""
+        service = serve(_encoder(dataset, "gru"), schema=dataset.schema,
+                        flush_events=10_000, batch_size=4)
+        for seq in dataset:
+            service.ingest(seq.slice(0, 5))
+        expected = len(plan_batches([5] * len(dataset), 4))
+        service.flush()
+        assert service.flush_batches == expected
+        # A query-triggered partial flush adds its own (tiny) plan.
+        for seq in dataset:
+            service.ingest(seq.slice(5, 8))
+        service.query([dataset[0].seq_id])  # drains exactly one entity
+        assert service.flush_batches == expected + len(plan_batches([3], 4))
+
+    def test_cache_hands_out_read_only_entries(self):
+        """A ``get`` result is frozen: caller mutation raises instead of
+        corrupting every later hit."""
+        cache = EmbeddingCache(capacity=4)
+        cache.put("a", np.arange(3, dtype=np.float32))
+        entry = cache.get("a")
+        assert entry.flags.writeable is False
+        with pytest.raises(ValueError):
+            entry[0] = 99.0
+        np.testing.assert_array_equal(cache.get("a"),
+                                      np.arange(3, dtype=np.float32))
+
+    def test_cache_put_leaves_the_callers_array_writable(self):
+        source = np.arange(3, dtype=np.float32)
+        cache = EmbeddingCache(capacity=4)
+        cache.put("a", source)
+        source[0] = 42.0  # the caller's own buffer: still writable,
+        assert cache.get("a")[0] == 0.0  # and the cache kept a copy
+
+    def test_coalesce_prefers_latest_non_none_label(self, dataset):
+        seq = dataset[0]
+        parts = [seq.slice(0, 4), seq.slice(4, 9)]
+        assert coalesce_chunks([_with_label(parts[0], None),
+                                _with_label(parts[1], 1)]).label == 1
+        assert coalesce_chunks([_with_label(parts[0], 1),
+                                _with_label(parts[1], None)]).label == 1
+        assert coalesce_chunks([_with_label(parts[0], 1),
+                                _with_label(parts[1], 1)]).label == 1
+        assert coalesce_chunks([_with_label(parts[0], None),
+                                _with_label(parts[1], None)]).label is None
+
+    def test_coalesce_raises_on_conflicting_labels(self, dataset):
+        seq = dataset[0]
+        parts = [seq.slice(0, 4), seq.slice(4, 9)]
+        with pytest.raises(ValueError, match="conflicting labels"):
+            coalesce_chunks([_with_label(parts[0], 1),
+                             _with_label(parts[1], 2)])
+
+    def test_query_with_duplicate_entity_ids(self, dataset):
+        """Repeated ids each get their own row, and the pending-entity
+        partial flush is not confused by the repetition."""
+        service = serve(_encoder(dataset, "gru"), schema=dataset.schema,
+                        flush_events=10_000)
+        first, second = dataset[0], dataset[1]
+        service.ingest(first.slice(0, 6))
+        service.ingest(second.slice(0, 6))
+        out = service.query([first.seq_id, second.seq_id, first.seq_id])
+        np.testing.assert_array_equal(out[0], out[2])
+        np.testing.assert_array_equal(
+            out[0], service.store.embedding(first.seq_id))
+        np.testing.assert_array_equal(
+            out[1], service.store.embedding(second.seq_id))
+        assert service.queries == 3
+        assert service.batcher.pending_events == 0
